@@ -1,0 +1,191 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! ACKWise-4 vs full-map directory, link contention on/off, padded vs
+//! packed lock layout (false sharing), plus the paper's §VII proposals:
+//! locality-aware coherence and O1TURN oblivious routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::workload;
+use crono_sim::{MeshConfig, RoutingPolicy, SimConfig, SimMachine};
+use crono_suite::runner::run_parallel;
+use crono_runtime::{LockSet, Machine, ThreadCtx};
+use crono_algos::Benchmark;
+
+fn directory(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_directory");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, pointers) in [("ackwise4", 4usize), ("fullmap", 256)] {
+        let config = SimConfig {
+            ackwise_pointers: pointers,
+            ..SimConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_parallel(Benchmark::PageRank, &SimMachine::new(config.clone(), 16), &w)
+                    .completion
+            })
+        });
+    }
+    g.finish();
+}
+
+fn noc_contention(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_noc_contention");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, contention) in [("contended", true), ("ideal", false)] {
+        let config = SimConfig {
+            mesh: MeshConfig {
+                link_contention: contention,
+                ..SimConfig::default().mesh
+            },
+            ..SimConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_parallel(Benchmark::Bfs, &SimMachine::new(config.clone(), 16), &w).completion
+            })
+        });
+    }
+    g.finish();
+}
+
+fn lock_alignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_alignment");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, packed) in [("padded", false), ("packed", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let locks = if packed {
+                    LockSet::new_packed(64)
+                } else {
+                    LockSet::new(64)
+                };
+                let m = SimMachine::new(SimConfig::tiny(16), 4);
+                m.run(|ctx| {
+                    for i in 0..64 {
+                        ctx.lock(&locks, (i + ctx.thread_id()) % 64);
+                        ctx.compute(5);
+                        ctx.unlock(&locks, (i + ctx.thread_id()) % 64);
+                    }
+                })
+                .report
+                .completion
+            })
+        });
+    }
+    g.finish();
+}
+
+fn coherence_protocol(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_coherence_protocol");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, e_state) in [("mesi", true), ("msi", false)] {
+        let config = SimConfig {
+            enable_e_state: e_state,
+            ..SimConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_parallel(Benchmark::SsspDijk, &SimMachine::new(config.clone(), 16), &w)
+                    .completion
+            })
+        });
+    }
+    g.finish();
+}
+
+fn sssp_strategy(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_sssp_strategy");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("outer_loop_pareto_fronts", |b| {
+        b.iter(|| {
+            crono_algos::sssp::parallel(&SimMachine::new(SimConfig::default(), 16), &w.graph, 0)
+                .report
+                .completion
+        })
+    });
+    g.bench_function("inner_loop_neighbor_division", |b| {
+        b.iter(|| {
+            crono_algos::sssp::parallel_inner(
+                &SimMachine::new(SimConfig::default(), 16),
+                &w.graph,
+                0,
+            )
+            .report
+            .completion
+        })
+    });
+    g.finish();
+}
+
+fn locality_aware(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_locality_aware");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, on) in [("baseline", false), ("locality_aware", true)] {
+        let config = SimConfig {
+            locality_aware: on,
+            ..SimConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_parallel(Benchmark::ConnComp, &SimMachine::new(config.clone(), 16), &w)
+                    .completion
+            })
+        });
+    }
+    g.finish();
+}
+
+fn routing(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_routing");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, policy) in [
+        ("xy", RoutingPolicy::XyDimensionOrder),
+        ("o1turn", RoutingPolicy::O1Turn),
+    ] {
+        let config = SimConfig {
+            mesh: MeshConfig {
+                routing: policy,
+                ..SimConfig::default().mesh
+            },
+            ..SimConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_parallel(Benchmark::Bfs, &SimMachine::new(config.clone(), 16), &w).completion
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    directory,
+    coherence_protocol,
+    noc_contention,
+    lock_alignment,
+    sssp_strategy,
+    locality_aware,
+    routing
+);
+criterion_main!(benches);

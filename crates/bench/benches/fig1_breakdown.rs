@@ -1,0 +1,29 @@
+//! Fig. 1 regenerator bench: simulated completion-time breakdowns.
+//! One representative benchmark per parallelization strategy, at an
+//! intermediate thread count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{sim, workload};
+use crono_suite::runner::run_parallel;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("fig1_breakdown");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for bench in [Benchmark::Bfs, Benchmark::SsspDijk, Benchmark::PageRank] {
+        g.bench_function(bench.label(), |b| {
+            b.iter(|| {
+                let report = run_parallel(bench, &sim(16), &w);
+                assert!(report.breakdown().total() > 0);
+                report.completion
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 2 regenerator bench: active-vertex tracing and bucketing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{sim, workload};
+use crono_suite::experiments::fig2::bucketize;
+use crono_suite::runner::run_parallel;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let report = run_parallel(Benchmark::SsspDijk, &sim(16), &w);
+    let trace = report.active_vertex_trace();
+    assert!(!trace.is_empty());
+    let mut g = c.benchmark_group("fig2_active_vertices");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("trace_collection", |b| {
+        b.iter(|| {
+            run_parallel(Benchmark::SsspDijk, &sim(16), &w)
+                .active_vertex_trace()
+                .len()
+        })
+    });
+    g.bench_function("bucketize", |b| {
+        b.iter(|| bucketize(&trace, report.completion))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 3 regenerator bench: L1 miss classification under the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{sim, workload};
+use crono_suite::runner::run_parallel;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("fig3_l1_miss");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    // APSP: the paper's capacity-miss-heavy workload; PageRank: the
+    // sharing-miss-heavy one.
+    for bench in [Benchmark::Apsp, Benchmark::PageRank] {
+        g.bench_function(bench.label(), |b| {
+            b.iter(|| {
+                let m = run_parallel(bench, &sim(16), &w).misses;
+                assert_eq!(
+                    m.l1d_misses(),
+                    m.cold_misses + m.capacity_misses + m.sharing_misses
+                );
+                m.l1d_misses()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 4 regenerator bench: cache-hierarchy miss rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{sim, workload};
+use crono_suite::runner::run_parallel;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("fig4_hierarchy_miss");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for bench in [Benchmark::ConnComp, Benchmark::TriCnt] {
+        g.bench_function(bench.label(), |b| {
+            b.iter(|| {
+                let m = run_parallel(bench, &sim(16), &w).misses;
+                m.hierarchy_miss_rate()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

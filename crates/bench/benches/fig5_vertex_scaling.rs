@@ -1,0 +1,25 @@
+//! Fig. 5 regenerator bench: speedup measurement across graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crono_bench::{scale, sim};
+use crono_suite::runner::run_parallel;
+use crono_suite::Workload;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let s = scale();
+    let mut g = c.benchmark_group("fig5_vertex_scaling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for &v in &s.vertex_scale_points {
+        let w = Workload::with_sparse_size(&s, v);
+        g.bench_with_input(BenchmarkId::new("bfs", v), &w, |b, w| {
+            b.iter(|| run_parallel(Benchmark::Bfs, &sim(16), w).completion)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

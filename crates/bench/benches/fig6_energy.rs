@@ -1,0 +1,31 @@
+//! Fig. 6 regenerator bench: the dynamic energy model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{sim, workload};
+use crono_energy::EnergyModel;
+use crono_suite::runner::run_parallel;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let report = run_parallel(Benchmark::Bfs, &sim(16), &w);
+    let model = EnergyModel::default();
+    let mut g = c.benchmark_group("fig6_energy");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("evaluate_and_normalize", |b| {
+        b.iter(|| {
+            let breakdown = model.evaluate(&report.energy).normalized();
+            assert!(breakdown.total() > 0.0);
+            breakdown.network_share()
+        })
+    });
+    g.bench_function("counters_from_sim_run", |b| {
+        b.iter(|| run_parallel(Benchmark::Bfs, &sim(16), &w).energy)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figs. 7–8 regenerator bench: out-of-order core simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{sim, sim_ooo, workload};
+use crono_suite::runner::run_parallel;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("fig7_fig8_ooo");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("inorder_bfs", |b| {
+        b.iter(|| run_parallel(Benchmark::Bfs, &sim(16), &w).completion)
+    });
+    g.bench_function("ooo_bfs", |b| {
+        b.iter(|| run_parallel(Benchmark::Bfs, &sim_ooo(16), &w).completion)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

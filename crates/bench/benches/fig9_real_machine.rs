@@ -1,0 +1,32 @@
+//! Fig. 9 regenerator bench: native-backend wall-clock runs — these are
+//! the "real machine" numbers, so criterion's statistics are the result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crono_bench::workload;
+use crono_runtime::NativeMachine;
+use crono_suite::runner::{run_parallel, run_sequential};
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("fig9_real_machine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for bench_kind in [Benchmark::Bfs, Benchmark::SsspDijk, Benchmark::TriCnt] {
+        g.bench_function(BenchmarkId::new("sequential", bench_kind.label()), |b| {
+            b.iter(|| run_sequential(bench_kind, &NativeMachine::new(1), &w).wall)
+        });
+        for threads in [2usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}_threads", bench_kind.label()), threads),
+                &threads,
+                |b, &t| b.iter(|| run_parallel(bench_kind, &NativeMachine::new(t), &w).wall),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

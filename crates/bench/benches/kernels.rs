@@ -1,0 +1,26 @@
+//! Native-speed microbenches of the ten algorithm kernels — the raw
+//! performance of the suite when it is *not* being simulated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::workload;
+use crono_runtime::NativeMachine;
+use crono_suite::runner::run_parallel;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let w = workload();
+    let machine = NativeMachine::new(4);
+    let mut g = c.benchmark_group("kernels_native");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for bench_kind in Benchmark::ALL {
+        g.bench_function(bench_kind.label(), |b| {
+            b.iter(|| run_parallel(bench_kind, &machine, &w).completion)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table IV regenerator bench: the dataset stand-ins and a simulated run
+//! on each graph class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{scale, sim};
+use crono_graph::gen::catalog::Dataset;
+use crono_suite::runner::run_parallel;
+use crono_suite::Workload;
+use crono_algos::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let s = scale();
+    let mut g = c.benchmark_group("table4_graph_variation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for dataset in [Dataset::SparseSynthetic, Dataset::RoadTx, Dataset::FacebookSocial] {
+        g.bench_function(format!("generate_{dataset}"), |b| {
+            b.iter(|| dataset.generate(s.dataset_shrink, s.seed).num_directed_edges())
+        });
+        let w = Workload::from_dataset(&s, dataset);
+        g.bench_function(format!("bfs_on_{dataset}"), |b| {
+            b.iter(|| run_parallel(Benchmark::Bfs, &sim(16), &w).completion)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

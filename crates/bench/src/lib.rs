@@ -1,0 +1,26 @@
+//! Shared fixtures for the CRONO criterion benches: every bench target
+//! regenerates (a fast slice of) one of the paper's tables or figures,
+//! so `cargo bench` exercises the same code paths as `crono <figN>`.
+
+use crono_sim::{SimConfig, SimMachine};
+use crono_suite::{Scale, Workload};
+
+/// The bench scale: the `test` preset (seconds per run).
+pub fn scale() -> Scale {
+    Scale::test()
+}
+
+/// The default synthetic workload at bench scale.
+pub fn workload() -> Workload {
+    Workload::synthetic(&scale())
+}
+
+/// A Table II simulator at `threads` threads.
+pub fn sim(threads: usize) -> SimMachine {
+    SimMachine::new(SimConfig::default(), threads)
+}
+
+/// The paper's out-of-order simulator at `threads` threads.
+pub fn sim_ooo(threads: usize) -> SimMachine {
+    SimMachine::new(SimConfig::paper_ooo(), threads)
+}

@@ -1,0 +1,184 @@
+//! `BETW_CENT` — betweenness centrality (§III-3).
+//!
+//! CRONO's formulation: first compute all-pairs shortest paths (the same
+//! vertex-capture matrix-Dijkstra phase as [`crate::apsp`]), "then a
+//! barrier is applied, and finally a loop executes to compute the
+//! centralities of each vertex. The final loop is statically divided
+//! amongst threads, with each thread reading shortest path values and
+//! updating the centralities via atomic locks."
+//!
+//! The centrality of `v` here is the number of ordered pairs `(s, t)`
+//! (`s ≠ v ≠ t`) that have *some* shortest path through `v`, detected by
+//! the distance identity `dist(s,v) + dist(v,t) == dist(s,t)` — the
+//! direct parallelization of the paper's description. (Brandes'
+//! fractional definition differs; the test-suite checks this one against
+//! a brute-force oracle.)
+
+use crate::apsp::{capture_sources, UNREACHABLE};
+use crate::graph_view::chunk;
+use crate::{costs, AlgoOutcome};
+use crono_graph::AdjacencyMatrix;
+use crono_runtime::{Machine, ReadArray, SharedU32s, SharedU64s, ThreadCtx};
+
+/// Result of a betweenness-centrality run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BetweennessOutput {
+    /// `centrality[v]` = ordered `(s, t)` pairs with a shortest path
+    /// through `v`.
+    pub centrality: Vec<u64>,
+    /// The APSP distance matrix computed in phase 1 (row-major).
+    pub dist: Vec<u32>,
+}
+
+/// Parallel betweenness centrality: vertex capture (phase 1) + statically
+/// divided outer loop (phase 2), separated by a barrier (Table I).
+///
+/// # Panics
+///
+/// Panics if the matrix has more than 16,384 vertices.
+pub fn parallel<M: Machine>(
+    machine: &M,
+    matrix: &AdjacencyMatrix,
+) -> AlgoOutcome<BetweennessOutput> {
+    let n = matrix.num_vertices();
+    assert!(n <= 16_384, "BETW_CENT matrix capped at 16K vertices");
+    let shared = ReadArray::new(matrix.as_slice());
+    let dist = SharedU32s::filled(n * n, UNREACHABLE);
+    let counter = SharedU64s::new(1);
+    let centrality = SharedU64s::new(n);
+
+    let outcome = machine.run(|ctx| {
+        // Phase 1: APSP by vertex capture.
+        capture_sources(ctx, &shared, n, &counter, &dist);
+        ctx.barrier();
+        // Phase 2: centrality loop, statically divided. This is the
+        // terminal activity spike visible in Fig. 2.
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        for v in chunk(n, tid, nthreads) {
+            ctx.record_active(1);
+            let mut count = 0u64;
+            for s in 0..n {
+                if s == v {
+                    continue;
+                }
+                let sv = dist.get(ctx, s * n + v);
+                if sv == UNREACHABLE {
+                    continue;
+                }
+                for t in 0..n {
+                    ctx.compute(costs::MIN_SCAN);
+                    if t == v || t == s {
+                        continue;
+                    }
+                    let vt = dist.get(ctx, v * n + t);
+                    if vt == UNREACHABLE {
+                        continue;
+                    }
+                    if sv + vt == dist.get(ctx, s * n + t) {
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                // "updating the centralities via atomic locks"
+                centrality.fetch_add(ctx, v, count);
+            }
+        }
+    });
+    AlgoOutcome {
+        output: BetweennessOutput {
+            centrality: centrality.to_vec(),
+            dist: dist.to_vec(),
+        },
+        report: outcome.report,
+    }
+}
+
+/// Sequential reference (one thread).
+///
+/// # Panics
+///
+/// Panics if `machine.num_threads() != 1`.
+pub fn sequential<M: Machine>(
+    machine: &M,
+    matrix: &AdjacencyMatrix,
+) -> AlgoOutcome<BetweennessOutput> {
+    assert_eq!(machine.num_threads(), 1, "sequential reference needs 1 thread");
+    parallel(machine, matrix)
+}
+
+/// Brute-force oracle from a Floyd–Warshall matrix (not tracked).
+pub fn reference(matrix: &AdjacencyMatrix) -> Vec<u64> {
+    let n = matrix.num_vertices();
+    let d = crate::apsp::floyd_warshall(matrix);
+    let mut centrality = vec![0u64; n];
+    for (v, c) in centrality.iter_mut().enumerate() {
+        for s in 0..n {
+            for t in 0..n {
+                if s == v || t == v || s == t {
+                    continue;
+                }
+                if d[s * n + v] != UNREACHABLE
+                    && d[v * n + t] != UNREACHABLE
+                    && d[s * n + v] + d[v * n + t] == d[s * n + t]
+                {
+                    *c += 1;
+                }
+            }
+        }
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crono_graph::gen::uniform_random;
+    use crono_runtime::NativeMachine;
+
+    #[test]
+    fn matches_brute_force() {
+        let m = AdjacencyMatrix::from_csr(&uniform_random(32, 90, 7, 4));
+        let out = parallel(&NativeMachine::new(4), &m);
+        assert_eq!(out.output.centrality, reference(&m));
+    }
+
+    #[test]
+    fn path_graph_center_has_max_centrality() {
+        // 0 - 1 - 2 - 3 - 4: vertex 2 lies on the most pairs.
+        let mut m = AdjacencyMatrix::new(5);
+        for v in 0..4u32 {
+            m.set(v, v + 1, 1);
+            m.set(v + 1, v, 1);
+        }
+        let out = parallel(&NativeMachine::new(2), &m);
+        let c = &out.output.centrality;
+        assert_eq!(c[2], *c.iter().max().unwrap());
+        assert_eq!(c[0], 0, "endpoints are never interior");
+        // 1 is interior to (0,2), (0,3), (0,4) and reverses: 6 pairs.
+        assert_eq!(c[1], 6);
+    }
+
+    #[test]
+    fn star_graph_hub_dominates() {
+        let mut m = AdjacencyMatrix::new(6);
+        for leaf in 1..6u32 {
+            m.set(0, leaf, 1);
+            m.set(leaf, 0, 1);
+        }
+        let out = parallel(&NativeMachine::new(3), &m);
+        // Hub is interior to all 5*4 = 20 ordered leaf pairs.
+        assert_eq!(out.output.centrality[0], 20);
+        assert!(out.output.centrality[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let m = AdjacencyMatrix::from_csr(&uniform_random(24, 60, 5, 9));
+        let a = parallel(&NativeMachine::new(1), &m);
+        let b = parallel(&NativeMachine::new(8), &m);
+        assert_eq!(a.output.centrality, b.output.centrality);
+        assert_eq!(a.output.dist, b.output.dist);
+    }
+}

@@ -1,0 +1,326 @@
+//! `BFS` — breadth-first search (§III-4).
+//!
+//! Level-synchronous traversal with CRONO's *graph division* strategy:
+//! each level's frontier is statically divided amongst threads, vertices
+//! claim their neighbors with an atomic test-and-set (the paper's "vertex
+//! capture ... via atomic locks"), and "a barrier is required ... to hop
+//! to the next vertex in each iteration".
+
+use crate::graph_view::SharedGraph;
+use crate::{costs, AlgoOutcome};
+use crono_graph::{CsrGraph, VertexId};
+use crono_runtime::{LockSet, Machine, SharedFlags, SharedU32s, SharedU64s, ThreadCtx, TrackedVec};
+use std::collections::VecDeque;
+
+/// Level assigned to vertices the search never reaches.
+pub const UNVISITED: u32 = u32::MAX;
+
+/// Result of a BFS run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsOutput {
+    /// `level[v]` = hop distance from the source ([`UNVISITED`] if
+    /// unreached).
+    pub level: Vec<u32>,
+    /// Number of vertices reached (including the source).
+    pub reachable: usize,
+    /// Number of levels traversed (graph eccentricity of the source + 1).
+    pub levels: u32,
+}
+
+/// Sequential queue BFS, reported through `ctx`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn run_seq<C: ThreadCtx>(ctx: &mut C, graph: &SharedGraph<'_>, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let mut level = TrackedVec::filled(n, UNVISITED);
+    level.set(ctx, source as usize, 0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        ctx.compute(costs::VISIT);
+        ctx.record_active(queue.len() as u64 + 1);
+        let lv = level.get(ctx, v as usize);
+        for e in graph.edge_range(ctx, v) {
+            let u = graph.neighbor(ctx, e);
+            if level.get(ctx, u as usize) == UNVISITED {
+                level.set(ctx, u as usize, lv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    level.into_vec()
+}
+
+/// Runs the sequential reference on a one-thread machine.
+///
+/// # Panics
+///
+/// Panics if `machine.num_threads() != 1` or `source` is out of range.
+pub fn sequential<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> AlgoOutcome<BfsOutput> {
+    assert_eq!(machine.num_threads(), 1, "sequential reference needs 1 thread");
+    let shared = SharedGraph::new(graph);
+    let mut outcome = machine.run(|ctx| run_seq(ctx, &shared, source));
+    let level = outcome.per_thread.pop().expect("one thread ran");
+    AlgoOutcome {
+        output: summarize(level),
+        report: outcome.report,
+    }
+}
+
+/// Parallel level-synchronous BFS: graph division (Table I).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn parallel<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> AlgoOutcome<BfsOutput> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let shared = SharedGraph::new(graph);
+    let level = SharedU32s::filled(n, UNVISITED);
+    level.set_plain(source as usize, 0);
+    let visited = SharedFlags::new(n);
+    visited.set_plain(source as usize, true);
+    let fronts = [SharedFlags::new(n), SharedFlags::new(n)];
+    fronts[0].set_plain(source as usize, true);
+    let activations = SharedU64s::new(3);
+    let locks = LockSet::new(n.min(4096));
+
+    let outcome = machine.run(|ctx| {
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        let mut depth = 0u32;
+        loop {
+            let cur = &fronts[(depth as usize) % 2];
+            let next = &fronts[(depth as usize + 1) % 2];
+            activations.set(ctx, (depth as usize + 2) % 3, 0);
+            let mut processed = 0u64;
+            let mut activated = 0u64;
+            // As in the C suite, every thread scans the full frontier
+            // array and claims the vertices it owns (striped graph
+            // division); the shared scan bounds BFS scaling exactly as
+            // the paper measures.
+            for v in 0..n {
+                if !cur.get(ctx, v) {
+                    continue;
+                }
+                if v % nthreads != tid {
+                    continue;
+                }
+                cur.set(ctx, v, false);
+                processed += 1;
+                ctx.compute(costs::VISIT);
+                for e in shared.edge_range(ctx, v as VertexId) {
+                    let u = shared.neighbor(ctx, e) as usize;
+                    // Vertex capture "done via atomic locks": exactly one
+                    // thread claims u.
+                    if !visited.get(ctx, u) {
+                        ctx.lock_for(&locks, u);
+                        if !visited.get(ctx, u) {
+                            visited.set(ctx, u, true);
+                            level.set(ctx, u, depth + 1);
+                            next.set(ctx, u, true);
+                            activated += 1;
+                        }
+                        ctx.unlock_for(&locks, u);
+                    }
+                }
+            }
+            if processed > 0 {
+                ctx.record_active(processed);
+            }
+            if activated > 0 {
+                activations.fetch_add(ctx, (depth as usize + 1) % 3, activated);
+            }
+            ctx.barrier();
+            if activations.get(ctx, (depth as usize + 1) % 3) == 0 {
+                break;
+            }
+            depth += 1;
+        }
+        depth + 1
+    });
+    AlgoOutcome {
+        output: summarize(level.to_vec()),
+        report: outcome.report,
+    }
+}
+
+/// Parallel BFS with *inner-loop* parallelization — the paper's §III-4
+/// alternative: "each thread picks a vertex and searches its neighbors
+/// ... the neighbors are statically divided amongst threads ... a
+/// barrier is required in inner loop based parallelism to hop to the
+/// next vertex in each iteration". Every thread walks the same frontier
+/// sequence; one barrier per frontier vertex.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn parallel_inner<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> AlgoOutcome<BfsOutput> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let shared = SharedGraph::new(graph);
+    let level = SharedU32s::filled(n, UNVISITED);
+    level.set_plain(source as usize, 0);
+    let visited = SharedFlags::new(n);
+    visited.set_plain(source as usize, true);
+    let fronts = [SharedFlags::new(n), SharedFlags::new(n)];
+    fronts[0].set_plain(source as usize, true);
+    let activations = SharedU64s::new(3);
+    let locks = LockSet::new(n.min(4096));
+
+    let outcome = machine.run(|ctx| {
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        let mut depth = 0u32;
+        let mut processed: Vec<usize> = Vec::new();
+        loop {
+            let cur = &fronts[(depth as usize) % 2];
+            let next = &fronts[(depth as usize + 1) % 2];
+            activations.set(ctx, (depth as usize + 2) % 3, 0);
+            let mut activated = 0u64;
+            processed.clear();
+            for v in 0..n {
+                if !cur.get(ctx, v) {
+                    continue;
+                }
+                processed.push(v);
+                ctx.compute(costs::VISIT);
+                ctx.record_active(1);
+                let range = shared.edge_range(ctx, v as VertexId);
+                for (k, e) in range.enumerate() {
+                    if k % nthreads != tid {
+                        continue;
+                    }
+                    let u = shared.neighbor(ctx, e) as usize;
+                    if !visited.get(ctx, u) {
+                        ctx.lock_for(&locks, u);
+                        if !visited.get(ctx, u) {
+                            visited.set(ctx, u, true);
+                            level.set(ctx, u, depth + 1);
+                            next.set(ctx, u, true);
+                            activated += 1;
+                        }
+                        ctx.unlock_for(&locks, u);
+                    }
+                }
+                ctx.barrier();
+            }
+            for &v in &processed {
+                if v % nthreads == tid {
+                    cur.set(ctx, v, false);
+                }
+            }
+            if activated > 0 {
+                activations.fetch_add(ctx, (depth as usize + 1) % 3, activated);
+            }
+            ctx.barrier();
+            if activations.get(ctx, (depth as usize + 1) % 3) == 0 {
+                break;
+            }
+            depth += 1;
+        }
+    });
+    AlgoOutcome {
+        output: summarize(level.to_vec()),
+        report: outcome.report,
+    }
+}
+
+fn summarize(level: Vec<u32>) -> BfsOutput {
+    let reachable = level.iter().filter(|&&l| l != UNVISITED).count();
+    let levels = level
+        .iter()
+        .filter(|&&l| l != UNVISITED)
+        .max()
+        .map_or(0, |&m| m + 1);
+    BfsOutput {
+        level,
+        reachable,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crono_graph::gen::{road_network, uniform_random};
+    use crono_runtime::NativeMachine;
+
+    #[test]
+    fn sequential_levels_are_hop_distances() {
+        // Path 0-1-2-3.
+        let g = CsrGraph::from_edges(
+            4,
+            vec![(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1), (2, 3, 1), (3, 2, 1)],
+        );
+        let out = sequential(&NativeMachine::new(1), &g, 0);
+        assert_eq!(out.output.level, vec![0, 1, 2, 3]);
+        assert_eq!(out.output.levels, 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = uniform_random(256, 1024, 4, 2);
+        let seq = sequential(&NativeMachine::new(1), &g, 3);
+        for threads in [1, 2, 4, 8] {
+            let par = parallel(&NativeMachine::new(threads), &g, 3);
+            assert_eq!(par.output.level, seq.output.level, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn road_network_full_coverage() {
+        let g = road_network(16, 16, 4, 0.2, 0.0, 5);
+        let out = parallel(&NativeMachine::new(4), &g, 0);
+        assert_eq!(out.output.reachable, 256, "road generator is connected");
+        assert!(out.output.levels > 10, "grids have high eccentricity");
+    }
+
+    #[test]
+    fn unreachable_vertices_marked() {
+        let g = CsrGraph::from_edges(4, vec![(0, 1, 1), (1, 0, 1), (2, 3, 1), (3, 2, 1)]);
+        let out = parallel(&NativeMachine::new(2), &g, 0);
+        assert_eq!(out.output.level[2], UNVISITED);
+        assert_eq!(out.output.reachable, 2);
+    }
+
+    #[test]
+    fn inner_loop_variant_matches_outer_loop() {
+        let g = uniform_random(128, 512, 4, 11);
+        let outer = parallel(&NativeMachine::new(4), &g, 0);
+        for threads in [1, 3, 4] {
+            let inner = parallel_inner(&NativeMachine::new(threads), &g, 0);
+            assert_eq!(inner.output.level, outer.output.level, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bfs_levels_consistent_with_edges() {
+        let g = uniform_random(128, 512, 4, 7);
+        let out = parallel(&NativeMachine::new(4), &g, 0);
+        for v in 0..128u32 {
+            let lv = out.output.level[v as usize];
+            if lv == UNVISITED {
+                continue;
+            }
+            for (u, _) in g.neighbors(v) {
+                let lu = out.output.level[u as usize];
+                assert!(lu != UNVISITED && lu <= lv + 1 && lv <= lu + 1);
+            }
+        }
+    }
+}

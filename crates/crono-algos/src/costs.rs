@@ -1,0 +1,33 @@
+//! Compute-cost constants (cycles of single-issue ALU work) charged via
+//! [`crono_runtime::ThreadCtx::compute`] alongside the memory accesses the
+//! kernels already report. The values approximate the instruction counts
+//! of the corresponding inner-loop bodies in the original C suite; they
+//! matter for the Compute share of the completion-time breakdown, not for
+//! correctness.
+
+/// Relaxing one edge: add + compare + branch.
+pub const RELAX: u32 = 3;
+
+/// One binary-heap operation in sequential Dijkstra (amortized).
+pub const HEAP_OP: u32 = 8;
+
+/// Scanning one candidate in the matrix-Dijkstra min scan.
+pub const MIN_SCAN: u32 = 2;
+
+/// Visiting one vertex in a traversal (bookkeeping).
+pub const VISIT: u32 = 2;
+
+/// One intersection step in triangle counting.
+pub const INTERSECT: u32 = 2;
+
+/// One floating-point PageRank accumulation (divide + add).
+pub const RANK_UPDATE: u32 = 6;
+
+/// Evaluating one branch-and-bound tour extension.
+pub const TOUR_STEP: u32 = 4;
+
+/// Evaluating one modularity-gain candidate in Louvain.
+pub const MODULARITY_EVAL: u32 = 10;
+
+/// Per-vertex label comparison in connected components.
+pub const LABEL_OP: u32 = 2;

@@ -1,0 +1,132 @@
+use crono_graph::{CsrGraph, VertexId, Weight};
+use crono_runtime::{ReadArray, ThreadCtx};
+
+/// A CSR graph wrapped for context-tracked access: the three CSR arrays
+/// (offsets, neighbors, weights) get symbolic cache-line addresses, so
+/// the simulated backend observes every vertex/edge touch the benchmark
+/// makes — the unstructured access pattern the paper characterizes.
+///
+/// # Examples
+///
+/// ```
+/// use crono_algos::SharedGraph;
+/// use crono_graph::CsrGraph;
+/// use crono_runtime::{Machine, NativeMachine};
+///
+/// let csr = CsrGraph::from_edges(3, vec![(0, 1, 5), (0, 2, 7)]);
+/// let graph = SharedGraph::new(&csr);
+/// NativeMachine::new(1).run(|ctx| {
+///     let mut sum = 0;
+///     for e in graph.edge_range(ctx, 0) {
+///         let (_, w) = graph.edge(ctx, e);
+///         sum += w;
+///     }
+///     assert_eq!(sum, 12);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct SharedGraph<'a> {
+    csr: &'a CsrGraph,
+    offsets: ReadArray<'a, u32>,
+    neighbors: ReadArray<'a, VertexId>,
+    weights: ReadArray<'a, Weight>,
+}
+
+impl<'a> SharedGraph<'a> {
+    /// Wraps `csr`, allocating symbolic regions for its arrays.
+    pub fn new(csr: &'a CsrGraph) -> Self {
+        SharedGraph {
+            csr,
+            offsets: ReadArray::new(csr.offset_slice()),
+            neighbors: ReadArray::new(csr.neighbor_slice()),
+            weights: ReadArray::new(csr.weight_slice()),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of directed edges.
+    pub fn num_directed_edges(&self) -> usize {
+        self.csr.num_directed_edges()
+    }
+
+    /// The underlying CSR graph (for untracked, outside-the-region use).
+    pub fn csr(&self) -> &'a CsrGraph {
+        self.csr
+    }
+
+    /// Edge-index range of `v`'s adjacency list (two offset loads).
+    #[inline]
+    pub fn edge_range<C: ThreadCtx>(&self, ctx: &mut C, v: VertexId) -> std::ops::Range<usize> {
+        let start = self.offsets.get(ctx, v as usize) as usize;
+        let end = self.offsets.get(ctx, v as usize + 1) as usize;
+        start..end
+    }
+
+    /// The `(neighbor, weight)` pair at flat edge index `e` (two loads).
+    #[inline]
+    pub fn edge<C: ThreadCtx>(&self, ctx: &mut C, e: usize) -> (VertexId, Weight) {
+        (self.neighbors.get(ctx, e), self.weights.get(ctx, e))
+    }
+
+    /// The neighbor at flat edge index `e` (one load; for unweighted
+    /// traversals like BFS/DFS/triangles that never touch weights).
+    #[inline]
+    pub fn neighbor<C: ThreadCtx>(&self, ctx: &mut C, e: usize) -> VertexId {
+        self.neighbors.get(ctx, e)
+    }
+
+    /// Out-degree of `v` (two offset loads).
+    #[inline]
+    pub fn degree<C: ThreadCtx>(&self, ctx: &mut C, v: VertexId) -> usize {
+        let r = self.edge_range(ctx, v);
+        r.end - r.start
+    }
+}
+
+/// The half-open vertex range thread `tid` of `nthreads` owns under
+/// static graph division (CRONO's "graph is statically divided amongst
+/// threads").
+pub(crate) fn chunk(n: usize, tid: usize, nthreads: usize) -> std::ops::Range<usize> {
+    let per = n.div_ceil(nthreads);
+    let start = (tid * per).min(n);
+    let end = ((tid + 1) * per).min(n);
+    start..end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crono_runtime::{Machine, NativeMachine};
+
+    #[test]
+    fn tracked_access_matches_csr() {
+        let csr = CsrGraph::from_edges(4, vec![(0, 1, 2), (1, 2, 3), (1, 3, 4)]);
+        let g = SharedGraph::new(&csr);
+        NativeMachine::new(1).run(|ctx| {
+            assert_eq!(g.degree(ctx, 1), 2);
+            let r = g.edge_range(ctx, 1);
+            let edges: Vec<_> = r.map(|e| g.edge(ctx, e)).collect();
+            assert_eq!(edges, vec![(2, 3), (3, 4)]);
+        });
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for t in [1usize, 2, 3, 8] {
+                let mut covered = vec![false; n];
+                for tid in 0..t {
+                    for i in chunk(n, tid, t) {
+                        assert!(!covered[i], "overlap at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} t={t} left gaps");
+            }
+        }
+    }
+}

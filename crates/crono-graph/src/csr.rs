@@ -1,0 +1,250 @@
+use crate::{VertexId, Weight};
+
+/// A weighted directed graph in compressed-sparse-row form.
+///
+/// This is the representation CRONO converts every input graph into: one
+/// offsets array, one flat neighbor array, and one parallel weight array
+/// ("a data structure for vertex connections and another structure for
+/// edge weights", §IV-F). All three arrays are exposed so the execution
+/// backends can assign them symbolic cache-line addresses.
+///
+/// Undirected graphs are stored symmetrically (each edge appears in both
+/// adjacency lists), matching the C suite.
+///
+/// # Examples
+///
+/// ```
+/// use crono_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, vec![(0, 1, 5), (0, 2, 3), (2, 3, 1)]);
+/// assert_eq!(g.degree(0), 2);
+/// let ns: Vec<_> = g.neighbors(0).collect();
+/// assert_eq!(ns, vec![(1, 5), (2, 3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from `(src, dst, weight)` triples.
+    ///
+    /// Edges are sorted by `(src, dst)`; duplicates are kept as parallel
+    /// edges (use [`crate::EdgeList::dedup`] first if undesired).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices` or if the number of
+    /// edges overflows `u32` (CRONO's largest inputs have ~42 M directed
+    /// edges, well within range).
+    pub fn from_edges(
+        num_vertices: usize,
+        mut edges: Vec<(VertexId, VertexId, Weight)>,
+    ) -> CsrGraph {
+        assert!(
+            u32::try_from(edges.len()).is_ok(),
+            "edge count {} exceeds u32 capacity",
+            edges.len()
+        );
+        // Weight participates in the sort so parallel edges have a
+        // canonical order (transpose round-trips exactly).
+        edges.sort_unstable();
+        if let Some(&(s, d, _)) = edges.last() {
+            assert!(
+                (s as usize) < num_vertices && (d as usize) < num_vertices,
+                "edge endpoint out of range"
+            );
+        }
+        let mut offsets = vec![0u32; num_vertices + 1];
+        for &(s, d, _) in &edges {
+            assert!(
+                (s as usize) < num_vertices && (d as usize) < num_vertices,
+                "edge endpoint out of range"
+            );
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut neighbors = Vec::with_capacity(edges.len());
+        let mut weights = Vec::with_capacity(edges.len());
+        for (_, d, w) in edges {
+            neighbors.push(d);
+            weights.push(w);
+        }
+        CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *directed* edges stored (an undirected graph stores each
+    /// edge twice).
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The half-open index range of `v`'s adjacency list within
+    /// [`Self::neighbor_slice`] / [`Self::weight_slice`].
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `v`.
+    pub fn neighbors(&self, v: VertexId) -> Neighbors<'_> {
+        let range = self.edge_range(v);
+        Neighbors {
+            neighbors: &self.neighbors[range.clone()],
+            weights: &self.weights[range],
+            idx: 0,
+        }
+    }
+
+    /// The raw offsets array (`num_vertices + 1` entries).
+    pub fn offset_slice(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat neighbor array.
+    pub fn neighbor_slice(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// The flat weight array, parallel to [`Self::neighbor_slice`].
+    pub fn weight_slice(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Returns the transpose (all edges reversed). For symmetric
+    /// (undirected) graphs this is structurally equal to the input.
+    pub fn transpose(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.num_directed_edges());
+        for v in 0..self.num_vertices() as VertexId {
+            for (n, w) in self.neighbors(v) {
+                edges.push((n, v, w));
+            }
+        }
+        CsrGraph::from_edges(self.num_vertices(), edges)
+    }
+
+    /// Total weight of all directed edges, as `u64` to avoid overflow.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Iterator over `(neighbor, weight)` pairs produced by
+/// [`CsrGraph::neighbors`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    neighbors: &'a [VertexId],
+    weights: &'a [Weight],
+    idx: usize,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = (VertexId, Weight);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.idx < self.neighbors.len() {
+            let item = (self.neighbors[self.idx], self.weights[self.idx]);
+            self.idx += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.neighbors.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(4, vec![(0, 1, 1), (0, 2, 2), (1, 3, 3), (2, 3, 4)])
+    }
+
+    #[test]
+    fn from_edges_builds_offsets() {
+        let g = diamond();
+        assert_eq!(g.offset_slice(), &[0, 2, 3, 4, 4]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_directed_edges(), 4);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_destination() {
+        let g = CsrGraph::from_edges(3, vec![(0, 2, 9), (0, 1, 8)]);
+        let ns: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(ns, vec![(1, 8), (2, 9)]);
+    }
+
+    #[test]
+    fn neighbors_is_exact_size() {
+        let g = diamond();
+        let it = g.neighbors(0);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        let ns: Vec<_> = t.neighbors(3).collect();
+        assert_eq!(ns, vec![(1, 3), (2, 4)]);
+        // Transposing twice restores the original.
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = CsrGraph::from_edges(0, vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.total_weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges(2, vec![(0, 5, 1)]);
+    }
+
+    #[test]
+    fn total_weight_sums_all_edges() {
+        assert_eq!(diamond().total_weight(), 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Disjoint-set union (union-find), used as the correctness oracle for the
+//! connected-components benchmark and by graph statistics.
+
+use crate::VertexId;
+
+/// Union-find with path halving and union by size.
+///
+/// # Examples
+///
+/// ```
+/// use crono_graph::dsu::Dsu;
+///
+/// let mut dsu = Dsu::new(4);
+/// dsu.union(0, 1);
+/// dsu.union(2, 3);
+/// assert!(dsu.same(0, 1));
+/// assert!(!dsu.same(1, 2));
+/// assert_eq!(dsu.num_components(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<VertexId>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as VertexId).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `v`'s set.
+    pub fn find(&mut self, mut v: VertexId) -> VertexId {
+        while self.parent[v as usize] != v {
+            let grandparent = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grandparent;
+            v = grandparent;
+        }
+        v
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: VertexId, b: VertexId) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: VertexId, b: VertexId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Canonical labeling: `labels[v]` is the smallest vertex id in `v`'s
+    /// component. Useful for comparing against other component algorithms.
+    pub fn canonical_labels(&mut self) -> Vec<VertexId> {
+        let n = self.parent.len();
+        let mut min_of_root = vec![VertexId::MAX; n];
+        for v in 0..n as VertexId {
+            let r = self.find(v) as usize;
+            if v < min_of_root[r] {
+                min_of_root[r] = v;
+            }
+        }
+        (0..n as VertexId)
+            .map(|v| {
+                let r = self.find(v) as usize;
+                min_of_root[r]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_reduces_component_count() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.num_components(), 5);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0), "already merged");
+        assert_eq!(d.num_components(), 4);
+    }
+
+    #[test]
+    fn canonical_labels_use_min_vertex() {
+        let mut d = Dsu::new(5);
+        d.union(4, 2);
+        d.union(2, 3);
+        let labels = d.canonical_labels();
+        assert_eq!(labels, vec![0, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut d = Dsu::new(100);
+        for i in 0..99 {
+            d.union(i, i + 1);
+        }
+        assert!(d.same(0, 99));
+        assert_eq!(d.num_components(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Error produced when building or parsing a graph fails.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph being built.
+        num_vertices: usize,
+    },
+    /// A malformed line was encountered while parsing a graph file.
+    Parse {
+        /// 1-based line number of the malformed input.
+        line: usize,
+        /// Explanation of what was wrong with the line.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// A requested graph size was invalid (e.g. zero vertices).
+    InvalidSize(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::InvalidSize(msg) => write!(f, "invalid graph size: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("vertex 10"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,205 @@
+use crate::{CsrGraph, EdgeList, VertexId, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities for the recursive-matrix (R-MAT) generator.
+///
+/// The defaults are the Graph500 parameters (a=0.57, b=0.19, c=0.19,
+/// d=0.05), which produce the heavy-tailed degree distribution
+/// characteristic of social networks — our stand-in for CRONO's SNAP
+/// Facebook input (Table III: 2,937,612 vertices / 41,919,708 edges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of recursing into the top-right quadrant.
+    pub b: f64,
+    /// Probability of recursing into the bottom-left quadrant.
+    pub c: f64,
+    /// Noise applied to the quadrant probabilities at each level, which
+    /// smooths the otherwise self-similar degree distribution.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
+    }
+}
+
+impl RmatParams {
+    /// Probability of the bottom-right quadrant (`1 - a - b - c`).
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d() >= 0.0,
+            "r-mat probabilities must be non-negative and sum to at most 1"
+        );
+        assert!((0.0..1.0).contains(&self.noise), "noise must be in [0, 1)");
+    }
+}
+
+/// R-MAT power-law random graph with `2^scale` vertices and `num_edges`
+/// undirected edges (stored symmetrically), weights in `1..=max_weight`.
+///
+/// Duplicate edges and self-loops are dropped rather than redrawn — the
+/// standard R-MAT/Graph500 convention — so the realized edge count is
+/// slightly below `num_edges` for dense corners of the matrix.
+///
+/// # Panics
+///
+/// Panics if `scale == 0`, `scale > 31`, `max_weight == 0`, or the
+/// parameters are not valid probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use crono_graph::gen::{rmat, RmatParams};
+///
+/// let g = rmat(10, 8_192, 64, RmatParams::default(), 7);
+/// assert_eq!(g.num_vertices(), 1_024);
+/// // Power-law: the max degree dwarfs the average degree.
+/// assert!(g.max_degree() > 4 * g.num_directed_edges() / g.num_vertices());
+/// ```
+pub fn rmat(
+    scale: u32,
+    num_edges: usize,
+    max_weight: Weight,
+    params: RmatParams,
+    seed: u64,
+) -> CsrGraph {
+    assert!(scale > 0 && scale <= 31, "scale must be in 1..=31");
+    assert!(max_weight > 0, "max_weight must be positive");
+    params.validate();
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut el = EdgeList::with_capacity(n, 2 * num_edges);
+    let mut seen = std::collections::HashSet::with_capacity(2 * num_edges);
+
+    for _ in 0..num_edges {
+        let (mut lo_r, mut hi_r) = (0usize, n);
+        let (mut lo_c, mut hi_c) = (0usize, n);
+        for _ in 0..scale {
+            // Per-level multiplicative noise, re-normalized.
+            let jitter = |p: f64, rng: &mut SmallRng| {
+                p * (1.0 - params.noise + 2.0 * params.noise * rng.random::<f64>())
+            };
+            let a = jitter(params.a, &mut rng);
+            let b = jitter(params.b, &mut rng);
+            let c = jitter(params.c, &mut rng);
+            let d = jitter(params.d(), &mut rng);
+            let total = a + b + c + d;
+            let x = rng.random::<f64>() * total;
+            let (row_hi, col_hi) = if x < a {
+                (false, false)
+            } else if x < a + b {
+                (false, true)
+            } else if x < a + b + c {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let mid_r = (lo_r + hi_r) / 2;
+            let mid_c = (lo_c + hi_c) / 2;
+            if row_hi {
+                lo_r = mid_r;
+            } else {
+                hi_r = mid_r;
+            }
+            if col_hi {
+                lo_c = mid_c;
+            } else {
+                hi_c = mid_c;
+            }
+        }
+        let (src, dst) = (lo_r as VertexId, lo_c as VertexId);
+        if src == dst {
+            continue;
+        }
+        let key = (src.min(dst), src.max(dst));
+        if seen.insert(key) {
+            el.push_undirected(key.0, key.1, rng.random_range(1..=max_weight))
+                .expect("r-mat endpoints in range");
+        }
+    }
+    el.into_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(8, 1024, 16, RmatParams::default(), 1);
+        assert_eq!(g.num_vertices(), 256);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = rmat(8, 512, 8, RmatParams::default(), 3);
+        let b = rmat(8, 512, 8, RmatParams::default(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        let g = rmat(12, 32_768, 8, RmatParams::default(), 5);
+        let avg = g.num_directed_edges() / g.num_vertices();
+        assert!(
+            g.max_degree() > 8 * avg.max(1),
+            "expected hub vertices: max={} avg={}",
+            g.max_degree(),
+            avg
+        );
+    }
+
+    #[test]
+    fn uniform_params_are_not_skewed() {
+        let params = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            noise: 0.0,
+        };
+        let g = rmat(12, 32_768, 8, params, 5);
+        let avg = (g.num_directed_edges() / g.num_vertices()).max(1);
+        assert!(
+            g.max_degree() < 8 * avg,
+            "uniform quadrants should not produce hubs: max={} avg={}",
+            g.max_degree(),
+            avg
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_zero_scale() {
+        rmat(0, 10, 1, RmatParams::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn rejects_bad_probabilities() {
+        rmat(
+            4,
+            10,
+            1,
+            RmatParams {
+                a: 0.9,
+                b: 0.2,
+                c: 0.2,
+                noise: 0.0,
+            },
+            0,
+        );
+    }
+}

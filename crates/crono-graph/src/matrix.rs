@@ -1,0 +1,144 @@
+use crate::{CsrGraph, VertexId, Weight};
+
+/// Dense adjacency-matrix representation.
+///
+/// CRONO stores APSP and BETW_CENT inputs as adjacency matrices (§IV-F:
+/// "APSP and BETW_CENT use an adjacency matrix representation, and it is
+/// simulated with a graph containing 16,384 vertices"). Absent entries are
+/// [`AdjacencyMatrix::INFINITY`].
+///
+/// # Examples
+///
+/// ```
+/// use crono_graph::AdjacencyMatrix;
+///
+/// let mut m = AdjacencyMatrix::new(3);
+/// m.set(0, 1, 4);
+/// assert_eq!(m.get(0, 1), 4);
+/// assert_eq!(m.get(1, 0), AdjacencyMatrix::INFINITY);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    /// Row-major weights; `INFINITY` marks an absent edge.
+    data: Vec<Weight>,
+}
+
+impl AdjacencyMatrix {
+    /// Sentinel weight for "no edge". Large enough that no real path uses
+    /// it, small enough that one addition cannot overflow `u32`.
+    pub const INFINITY: Weight = u32::MAX / 4;
+
+    /// Creates an `n × n` matrix with no edges and zero-cost self-loops.
+    pub fn new(n: usize) -> Self {
+        let mut data = vec![Self::INFINITY; n * n];
+        for v in 0..n {
+            data[v * n + v] = 0;
+        }
+        AdjacencyMatrix { n, data }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Weight of edge `src -> dst` ([`Self::INFINITY`] if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, src: VertexId, dst: VertexId) -> Weight {
+        self.data[src as usize * self.n + dst as usize]
+    }
+
+    /// Sets the weight of edge `src -> dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, src: VertexId, dst: VertexId, w: Weight) {
+        self.data[src as usize * self.n + dst as usize] = w;
+    }
+
+    /// Row-major flat storage (used for symbolic addressing by the
+    /// execution backends).
+    pub fn as_slice(&self) -> &[Weight] {
+        &self.data
+    }
+
+    /// Index of `(src, dst)` within [`Self::as_slice`].
+    pub fn flat_index(&self, src: VertexId, dst: VertexId) -> usize {
+        src as usize * self.n + dst as usize
+    }
+
+    /// Builds the matrix form of a CSR graph, keeping the minimum weight
+    /// among parallel edges.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let mut m = AdjacencyMatrix::new(g.num_vertices());
+        for v in 0..g.num_vertices() as VertexId {
+            for (u, w) in g.neighbors(v) {
+                let cur = m.get(v, u);
+                if w < cur {
+                    m.set(v, u, w);
+                }
+            }
+        }
+        m
+    }
+
+    /// Converts back to CSR (dropping absent edges and self-loops).
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut edges = Vec::new();
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let w = self.data[s * self.n + d];
+                if s != d && w != Self::INFINITY {
+                    edges.push((s as VertexId, d as VertexId, w));
+                }
+            }
+        }
+        CsrGraph::from_edges(self.n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_has_zero_diagonal() {
+        let m = AdjacencyMatrix::new(4);
+        for v in 0..4 {
+            assert_eq!(m.get(v, v), 0);
+        }
+        assert_eq!(m.get(0, 3), AdjacencyMatrix::INFINITY);
+    }
+
+    #[test]
+    fn csr_round_trip_preserves_edges() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1, 2), (1, 2, 3), (2, 0, 4)]);
+        let m = AdjacencyMatrix::from_csr(&g);
+        assert_eq!(m.to_csr(), g);
+    }
+
+    #[test]
+    fn from_csr_keeps_min_parallel_edge() {
+        let g = CsrGraph::from_edges(2, vec![(0, 1, 9), (0, 1, 2)]);
+        let m = AdjacencyMatrix::from_csr(&g);
+        assert_eq!(m.get(0, 1), 2);
+    }
+
+    #[test]
+    fn infinity_does_not_overflow_on_addition() {
+        let x = AdjacencyMatrix::INFINITY + AdjacencyMatrix::INFINITY;
+        assert!(x >= AdjacencyMatrix::INFINITY, "no wrap-around");
+    }
+
+    #[test]
+    fn flat_index_matches_get() {
+        let mut m = AdjacencyMatrix::new(5);
+        m.set(3, 2, 7);
+        assert_eq!(m.as_slice()[m.flat_index(3, 2)], 7);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the graph substrate.
+
+use crono_graph::dsu::Dsu;
+use crono_graph::gen::{rmat, road_network, tsp_cities, uniform_random, RmatParams};
+use crono_graph::io::{read_dimacs, read_edge_list, write_dimacs, write_edge_list};
+use crono_graph::{CsrGraph, EdgeList};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1..100u32),
+            0..max_m,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_every_edge((n, edges) in arb_edges(64, 256)) {
+        let g = CsrGraph::from_edges(n, edges.clone());
+        prop_assert_eq!(g.num_directed_edges(), edges.len());
+        for (s, d, w) in edges {
+            prop_assert!(g.neighbors(s).any(|(x, wx)| x == d && wx == w));
+        }
+    }
+
+    #[test]
+    fn csr_degrees_sum_to_edge_count((n, edges) in arb_edges(64, 256)) {
+        let g = CsrGraph::from_edges(n, edges);
+        let total: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, g.num_directed_edges());
+    }
+
+    #[test]
+    fn transpose_is_involutive((n, edges) in arb_edges(32, 128)) {
+        let g = CsrGraph::from_edges(n, edges);
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn edge_list_io_round_trips((n, edges) in arb_edges(32, 128)) {
+        let g = CsrGraph::from_edges(n, edges);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), false).unwrap();
+        // Round-trip can lose trailing isolated vertices (edge lists have
+        // no vertex-count header); edges must survive exactly.
+        prop_assert_eq!(g2.num_directed_edges(), g.num_directed_edges());
+        for v in 0..g2.num_vertices() as u32 {
+            let a: Vec<_> = g.neighbors(v).collect();
+            let b: Vec<_> = g2.neighbors(v).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dimacs_io_round_trips((n, edges) in arb_edges(32, 128)) {
+        let g = CsrGraph::from_edges(n, edges);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        prop_assert_eq!(read_dimacs(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn uniform_generator_is_connected(n in 8usize..128, extra in 0usize..64, seed in 0u64..100) {
+        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+        let g = uniform_random(n, n - 1 + extra, 16, seed);
+        let mut dsu = Dsu::new(n);
+        for v in 0..n as u32 {
+            for (u, _) in g.neighbors(v) {
+                dsu.union(v, u);
+            }
+        }
+        prop_assert_eq!(dsu.num_components(), 1);
+    }
+
+    #[test]
+    fn road_generator_is_connected(rows in 2usize..20, cols in 2usize..20,
+                                   drop in 0.0f64..0.6, seed in 0u64..50) {
+        let g = road_network(rows, cols, 8, drop, 0.05, seed);
+        let n = g.num_vertices();
+        let mut dsu = Dsu::new(n);
+        for v in 0..n as u32 {
+            for (u, _) in g.neighbors(v) {
+                dsu.union(v, u);
+            }
+        }
+        prop_assert_eq!(dsu.num_components(), 1);
+    }
+
+    #[test]
+    fn rmat_edges_within_range(scale in 3u32..10, m in 1usize..512, seed in 0u64..50) {
+        let g = rmat(scale, m, 8, RmatParams::default(), seed);
+        prop_assert_eq!(g.num_vertices(), 1usize << scale);
+        prop_assert!(g.num_directed_edges() <= 2 * m);
+        // Symmetry
+        for v in 0..g.num_vertices() as u32 {
+            for (u, w) in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).any(|(x, wx)| x == v && wx == w));
+            }
+        }
+    }
+
+    #[test]
+    fn tsp_tour_length_invariant_under_rotation(n in 3usize..9, seed in 0u64..50) {
+        let inst = tsp_cities(n, seed);
+        let order: Vec<usize> = (0..n).collect();
+        let mut rotated = order.clone();
+        rotated.rotate_left(1);
+        prop_assert_eq!(inst.tour_length(&order), inst.tour_length(&rotated));
+    }
+
+    #[test]
+    fn dedup_removes_all_duplicates((n, edges) in arb_edges(24, 200)) {
+        let mut el = EdgeList::new(n);
+        el.extend(edges);
+        el.dedup();
+        let pairs: Vec<_> = el.iter().map(|(s, d, _)| (s, d)).collect();
+        let mut uniq = pairs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(pairs.len(), uniq.len());
+        prop_assert!(el.iter().all(|(s, d, _)| s != d));
+    }
+}

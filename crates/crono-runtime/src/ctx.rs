@@ -1,0 +1,77 @@
+use crate::{Addr, LockSet};
+
+/// Per-thread execution context through which benchmarks report every
+/// shared-memory access, every unit of compute, and every synchronization
+/// event.
+///
+/// Implementations:
+///
+/// * [`crate::NativeCtx`] — the real-machine backend: memory hooks are
+///   inlined no-ops (plus an instruction counter), locks are real
+///   spinlocks, barriers are real barriers. Benchmarks run at native
+///   speed.
+/// * `crono_sim::SimCtx` — the Graphite-style backend: every hook drives
+///   the timing model (private L1, directory, NoC, DRAM, per-thread
+///   clock).
+///
+/// Because benchmark kernels are generic over `ThreadCtx`, each backend
+/// gets its own monomorphized copy — the native build pays nothing for
+/// the instrumentation the simulator needs.
+pub trait ThreadCtx {
+    /// This thread's id in `0..num_threads()`.
+    fn thread_id(&self) -> usize;
+
+    /// Number of threads in this run.
+    fn num_threads(&self) -> usize;
+
+    /// Models a read of the word at `addr`.
+    fn load(&mut self, addr: Addr);
+
+    /// Models a write of the word at `addr`.
+    fn store(&mut self, addr: Addr);
+
+    /// Models an atomic read-modify-write of the word at `addr`
+    /// (exclusive-ownership write in the coherence model).
+    fn rmw(&mut self, addr: Addr);
+
+    /// Models `cycles` single-issue ALU cycles of work.
+    fn compute(&mut self, cycles: u32);
+
+    /// Acquires lock `idx` of `set`: real mutual exclusion on every
+    /// backend, plus modeled waiting time on the simulated backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for `set`.
+    fn lock(&mut self, set: &LockSet, idx: usize);
+
+    /// Releases lock `idx` of `set`.
+    ///
+    /// Calling this without holding the lock is a logic error that leaves
+    /// the lock set in an inconsistent state.
+    fn unlock(&mut self, set: &LockSet, idx: usize);
+
+    /// Waits until all threads of the run reach the barrier.
+    fn barrier(&mut self);
+
+    /// Records an active-vertex sample (the Fig. 2 instrumentation): the
+    /// benchmark currently has `active` vertices in flight.
+    fn record_active(&mut self, active: u64);
+
+    /// Instructions this thread has executed so far (loads, stores, RMWs,
+    /// lock operations, and `compute` cycles all count — CRONO's
+    /// load-imbalance metric is instruction-based, §IV-E).
+    fn instructions(&self) -> u64;
+
+    /// Convenience: lock striping. Maps an arbitrary index (e.g. a vertex
+    /// id) onto a lock of `set`.
+    fn lock_for(&mut self, set: &LockSet, key: usize) {
+        self.lock(set, key % set.len());
+    }
+
+    /// Convenience: releases the stripe lock taken by
+    /// [`ThreadCtx::lock_for`].
+    fn unlock_for(&mut self, set: &LockSet, key: usize) {
+        self.unlock(set, key % set.len());
+    }
+}

@@ -1,0 +1,234 @@
+use crate::{alloc_region, Addr, Region};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A test-and-test-and-set spinlock.
+///
+/// CRONO's benchmarks guard fine-grain updates with "atomic locks"; short
+/// critical sections make spinning the right discipline on both backends.
+#[derive(Debug, Default)]
+pub(crate) struct SpinLock {
+    held: AtomicBool,
+}
+
+impl SpinLock {
+    /// Acquires the lock; returns `true` if the acquisition contended
+    /// (the lock was observably held by a concurrent thread).
+    pub(crate) fn acquire(&self) -> bool {
+        let mut contended = false;
+        loop {
+            if !self.held.swap(true, Ordering::Acquire) {
+                return contended;
+            }
+            contended = true;
+            let mut spins = 0u32;
+            while self.held.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+                spins += 1;
+                if spins > 1 << 12 {
+                    std::thread::yield_now();
+                    spins = 0;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn release(&self) {
+        self.held.store(false, Ordering::Release);
+    }
+}
+
+/// An indexed set of locks with symbolic addresses and per-lock release
+/// clocks.
+///
+/// One `LockSet` serves both backends: the spinlocks provide *real*
+/// mutual exclusion everywhere, while the release clocks let the
+/// simulated backend compute how long a thread's simulated clock must
+/// wait behind the previous holder (Graphite-style lax synchronization).
+///
+/// Locks are cache-line padded in the symbolic address space by default,
+/// mirroring CRONO's cache-line-aligned data structures; `new_packed`
+/// exists for the false-sharing ablation.
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{LockSet, Machine, NativeMachine, ThreadCtx};
+///
+/// let locks = LockSet::new(8);
+/// let machine = NativeMachine::new(2);
+/// machine.run(|ctx| {
+///     ctx.lock(&locks, 3);
+///     // critical section
+///     ctx.unlock(&locks, 3);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct LockSet {
+    locks: Vec<SpinLock>,
+    release_clocks: Vec<AtomicU64>,
+    /// Per-lock `(epoch_tag << 32) | booked_hold_cycles`.
+    epoch_busy: Vec<AtomicU64>,
+    region: Region,
+    padded: bool,
+}
+
+impl LockSet {
+    /// Creates `n` locks, cache-line padded in the symbolic address space.
+    pub fn new(n: usize) -> Self {
+        Self::build(n, true)
+    }
+
+    /// Creates `n` locks packed 4 bytes apart (16 locks per cache line) —
+    /// the false-sharing ablation configuration.
+    pub fn new_packed(n: usize) -> Self {
+        Self::build(n, false)
+    }
+
+    fn build(n: usize, padded: bool) -> Self {
+        let bytes = if padded { n as u64 * 64 } else { n as u64 * 4 };
+        LockSet {
+            locks: (0..n).map(|_| SpinLock::default()).collect(),
+            release_clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            epoch_busy: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            region: alloc_region(bytes.max(1)),
+            padded,
+        }
+    }
+
+    /// Number of locks in the set.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Symbolic address of lock `idx`'s lock word.
+    pub fn addr(&self, idx: usize) -> Addr {
+        if self.padded {
+            self.region.addr_padded(idx)
+        } else {
+            self.region.addr(idx, 4)
+        }
+    }
+
+    /// Acquires the underlying spinlock (real mutual exclusion),
+    /// returning `true` if the acquisition contended with a concurrent
+    /// holder. Backends call this; benchmark code should go through
+    /// [`crate::ThreadCtx::lock`] so timing is modeled too.
+    pub fn acquire_raw(&self, idx: usize) -> bool {
+        self.locks[idx].acquire()
+    }
+
+    /// Releases the underlying spinlock. Calling without holding the lock
+    /// is a logic error.
+    pub fn release_raw(&self, idx: usize) {
+        self.locks[idx].release();
+    }
+
+    /// The simulated clock at which lock `idx` was last released.
+    pub fn release_clock(&self, idx: usize) -> u64 {
+        self.release_clocks[idx].load(Ordering::Acquire)
+    }
+
+    /// Records the simulated clock at which lock `idx` is released.
+    pub fn set_release_clock(&self, idx: usize, clock: u64) {
+        self.release_clocks[idx].store(clock, Ordering::Release);
+    }
+
+    /// Simulated hold-time already booked on lock `idx` within `epoch`
+    /// (see [`LOCK_EPOCH_CYCLES`]). A simulated backend charges an
+    /// acquirer this much queueing delay: with lax per-thread clocks,
+    /// contention must be accounted in epochs of *simulated* time, not
+    /// through the host-level race for the spinlock.
+    pub fn booked_hold(&self, idx: usize, epoch: u64) -> u64 {
+        let (tag, busy) = unpack(self.epoch_busy[idx].load(Ordering::Relaxed));
+        if tag == (epoch & 0xFFFF_FFFF) {
+            busy
+        } else {
+            0
+        }
+    }
+
+    /// Books `cycles` of simulated hold time on lock `idx` in `epoch`.
+    pub fn book_hold(&self, idx: usize, epoch: u64, cycles: u64) {
+        let cell = &self.epoch_busy[idx];
+        let this_tag = epoch & 0xFFFF_FFFF;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let (tag, busy) = unpack(cur);
+            let new = if tag == this_tag {
+                pack(this_tag, busy.saturating_add(cycles))
+            } else {
+                pack(this_tag, cycles)
+            };
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Simulated cycles per lock-contention accounting epoch.
+pub const LOCK_EPOCH_CYCLES: u64 = 512;
+
+fn pack(epoch_tag: u64, busy: u64) -> u64 {
+    (epoch_tag << 32) | (busy & 0xFFFF_FFFF)
+}
+
+fn unpack(v: u64) -> (u64, u64) {
+    (v >> 32, v & 0xFFFF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn spinlock_provides_mutual_exclusion() {
+        let set = LockSet::new(1);
+        let counter = AtomicU32::new(0);
+        let inside = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        set.acquire_raw(0);
+                        assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        set.release_raw(0);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn padded_locks_have_distinct_lines() {
+        let set = LockSet::new(4);
+        let lines: std::collections::HashSet<_> = (0..4).map(|i| set.addr(i).line()).collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn packed_locks_share_lines() {
+        let set = LockSet::new_packed(16);
+        let lines: std::collections::HashSet<_> = (0..16).map(|i| set.addr(i).line()).collect();
+        assert_eq!(lines.len(), 1, "16 packed 4-byte locks fit one line");
+    }
+
+    #[test]
+    fn release_clock_round_trip() {
+        let set = LockSet::new(2);
+        assert_eq!(set.release_clock(1), 0);
+        set.set_release_clock(1, 42);
+        assert_eq!(set.release_clock(1), 42);
+        assert_eq!(set.release_clock(0), 0);
+    }
+}

@@ -1,0 +1,35 @@
+use crate::{RunReport, ThreadCtx};
+
+/// The result of one parallel region: each thread's return value plus the
+/// backend's [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome<R> {
+    /// `body`'s return value per thread, indexed by thread id.
+    pub per_thread: Vec<R>,
+    /// Timing/characterization report from the backend.
+    pub report: RunReport,
+}
+
+/// An execution backend: spawns one [`ThreadCtx`] per thread, runs the
+/// parallel region, and reports what happened.
+///
+/// Two backends exist: [`crate::NativeMachine`] (the paper's real-machine
+/// setup, §IV-C) and `crono_sim::SimMachine` (the Graphite-style
+/// simulator, §IV-B).
+pub trait Machine {
+    /// The context type handed to each thread.
+    type Ctx: ThreadCtx;
+
+    /// Number of threads a [`Machine::run`] call will spawn.
+    fn num_threads(&self) -> usize;
+
+    /// Human-readable backend name for reports.
+    fn backend_name(&self) -> &'static str;
+
+    /// Runs `body` once per thread (each with its own context) and
+    /// collects the outcome. Blocks until every thread finishes.
+    fn run<F, R>(&self, body: F) -> RunOutcome<R>
+    where
+        F: Fn(&mut Self::Ctx) -> R + Sync,
+        R: Send;
+}

@@ -1,0 +1,222 @@
+use crate::{
+    Addr, LockSet, Machine, RunOutcome, RunReport, ThreadCtx, ThreadReport,
+};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// The real-machine backend (paper §IV-C / §VI): benchmarks run on host
+/// OS threads at full speed; memory hooks compile to an instruction
+/// counter increment and nothing else.
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{Machine, NativeMachine, ThreadCtx};
+///
+/// let machine = NativeMachine::new(8);
+/// let outcome = machine.run(|ctx| ctx.thread_id());
+/// assert_eq!(outcome.per_thread, (0..8).collect::<Vec<_>>());
+/// assert!(outcome.report.wall.as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NativeMachine {
+    threads: usize,
+}
+
+impl NativeMachine {
+    /// Creates a backend that runs parallel regions on `threads` host
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        NativeMachine { threads }
+    }
+}
+
+impl Machine for NativeMachine {
+    type Ctx = NativeCtx;
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "native"
+    }
+
+    fn run<F, R>(&self, body: F) -> RunOutcome<R>
+    where
+        F: Fn(&mut Self::Ctx) -> R + Sync,
+        R: Send,
+    {
+        let barrier = Arc::new(Barrier::new(self.threads));
+        let start = Instant::now();
+        let mut results: Vec<Option<(R, ThreadReport)>> = Vec::new();
+        results.resize_with(self.threads, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            for tid in 0..self.threads {
+                let body = &body;
+                let barrier = Arc::clone(&barrier);
+                handles.push(scope.spawn(move || {
+                    let mut ctx = NativeCtx {
+                        tid,
+                        nthreads: self.threads,
+                        instructions: 0,
+                        barrier,
+                        start: Instant::now(),
+                        active_samples: Vec::new(),
+                    };
+                    let r = body(&mut ctx);
+                    let report = ThreadReport {
+                        instructions: ctx.instructions,
+                        finish_time: ctx.start.elapsed().as_nanos() as u64,
+                        breakdown: Default::default(),
+                        active_samples: ctx.active_samples,
+                    };
+                    (r, report)
+                }));
+            }
+            for (tid, h) in handles.into_iter().enumerate() {
+                results[tid] = Some(h.join().expect("benchmark thread panicked"));
+            }
+        });
+        let wall = start.elapsed();
+        let mut per_thread = Vec::with_capacity(self.threads);
+        let mut threads = Vec::with_capacity(self.threads);
+        for slot in results {
+            let (r, t) = slot.expect("every thread joined");
+            per_thread.push(r);
+            threads.push(t);
+        }
+        let report = RunReport {
+            backend: self.backend_name(),
+            wall,
+            completion: wall.as_nanos() as u64,
+            threads,
+            misses: Default::default(),
+            energy: Default::default(),
+        };
+        RunOutcome { per_thread, report }
+    }
+}
+
+/// Per-thread context of the [`NativeMachine`] backend.
+#[derive(Debug)]
+pub struct NativeCtx {
+    tid: usize,
+    nthreads: usize,
+    instructions: u64,
+    barrier: Arc<Barrier>,
+    start: Instant,
+    active_samples: Vec<(u64, u64)>,
+}
+
+impl ThreadCtx for NativeCtx {
+    #[inline(always)]
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    #[inline(always)]
+    fn num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    #[inline(always)]
+    fn load(&mut self, _addr: Addr) {
+        self.instructions += 1;
+    }
+
+    #[inline(always)]
+    fn store(&mut self, _addr: Addr) {
+        self.instructions += 1;
+    }
+
+    #[inline(always)]
+    fn rmw(&mut self, _addr: Addr) {
+        self.instructions += 1;
+    }
+
+    #[inline(always)]
+    fn compute(&mut self, cycles: u32) {
+        self.instructions += cycles as u64;
+    }
+
+    #[inline]
+    fn lock(&mut self, set: &LockSet, idx: usize) {
+        self.instructions += 1;
+        set.acquire_raw(idx);
+    }
+
+    #[inline]
+    fn unlock(&mut self, set: &LockSet, idx: usize) {
+        self.instructions += 1;
+        set.release_raw(idx);
+    }
+
+    fn barrier(&mut self) {
+        self.instructions += 1;
+        self.barrier.wait();
+    }
+
+    fn record_active(&mut self, active: u64) {
+        self.active_samples
+            .push((self.start.elapsed().as_nanos() as u64, active));
+    }
+
+    #[inline(always)]
+    fn instructions(&self) -> u64 {
+        self.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SharedU64s;
+
+    #[test]
+    fn all_threads_run_once() {
+        let m = NativeMachine::new(6);
+        let outcome = m.run(|ctx| ctx.thread_id() * 2);
+        assert_eq!(outcome.per_thread, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(outcome.report.threads.len(), 6);
+        assert_eq!(outcome.report.backend, "native");
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let m = NativeMachine::new(4);
+        let flags = SharedU64s::new(4);
+        let ok = m.run(|ctx| {
+            flags.set(ctx, ctx.thread_id(), 1);
+            ctx.barrier();
+            // After the barrier every thread must observe all flags.
+            (0..4).all(|i| flags.get(ctx, i) == 1)
+        });
+        assert!(ok.per_thread.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn instruction_counts_reflect_work() {
+        let m = NativeMachine::new(2);
+        let outcome = m.run(|ctx| {
+            if ctx.thread_id() == 0 {
+                ctx.compute(100);
+            } else {
+                ctx.compute(10);
+            }
+        });
+        assert!(outcome.report.variability() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        NativeMachine::new(0);
+    }
+}

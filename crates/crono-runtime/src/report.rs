@@ -1,0 +1,302 @@
+use std::time::Duration;
+
+/// Completion-time decomposition, in cycles, exactly as CRONO §IV-D.
+///
+/// Every field is a *sum over threads* unless aggregated otherwise; the
+/// characterization harness normalizes before plotting (the paper's
+/// figures are normalized stacks).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// Cycles retiring instructions (single-issue compute).
+    pub compute: u64,
+    /// L1 miss round trip to the L2 home: network there and back plus the
+    /// first L2 access ("L1Cache-L2Cache latency").
+    pub l1_to_l2home: u64,
+    /// Queueing delay while requests to the same cache line serialize at
+    /// the home ("L2Home-Waiting").
+    pub l2home_waiting: u64,
+    /// Round trips invalidating/downgrading private sharers
+    /// ("L2Cache-Sharers").
+    pub l2home_sharers: u64,
+    /// Off-chip memory time including controller queueing
+    /// ("L2Home-OffChip").
+    pub l2home_offchip: u64,
+    /// Time blocked on locks and barriers ("Synchronization").
+    pub synchronization: u64,
+}
+
+impl Breakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.compute
+            + self.l1_to_l2home
+            + self.l2home_waiting
+            + self.l2home_sharers
+            + self.l2home_offchip
+            + self.synchronization
+    }
+
+    /// Component-wise addition (for aggregating thread breakdowns).
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.compute += other.compute;
+        self.l1_to_l2home += other.l1_to_l2home;
+        self.l2home_waiting += other.l2home_waiting;
+        self.l2home_sharers += other.l2home_sharers;
+        self.l2home_offchip += other.l2home_offchip;
+        self.synchronization += other.synchronization;
+    }
+
+    /// The six components as `(label, cycles)` pairs, in the paper's
+    /// plotting order.
+    pub fn components(&self) -> [(&'static str, u64); 6] {
+        [
+            ("Compute", self.compute),
+            ("L1Cache-L2Home", self.l1_to_l2home),
+            ("L2Home-Waiting", self.l2home_waiting),
+            ("L2Home-Sharers", self.l2home_sharers),
+            ("L2Home-OffChip", self.l2home_offchip),
+            ("Synchronization", self.synchronization),
+        ]
+    }
+}
+
+/// L1-D miss statistics with the paper's three-way classification
+/// (§IV-D): cold, capacity, and sharing misses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissStats {
+    /// Total L1-D accesses.
+    pub l1d_accesses: u64,
+    /// Misses to lines never seen before by this core.
+    pub cold_misses: u64,
+    /// Misses to lines previously evicted for capacity/conflict.
+    pub capacity_misses: u64,
+    /// Misses to lines previously invalidated or downgraded by another
+    /// core's request.
+    pub sharing_misses: u64,
+    /// L2 misses (cache-hierarchy misses that go off-chip).
+    pub l2_misses: u64,
+    /// Total L2 accesses (L1 misses arriving at the home).
+    pub l2_accesses: u64,
+}
+
+impl MissStats {
+    /// All L1-D misses.
+    pub fn l1d_misses(&self) -> u64 {
+        self.cold_misses + self.capacity_misses + self.sharing_misses
+    }
+
+    /// L1-D miss rate in percent (0 when there were no accesses).
+    pub fn l1d_miss_rate(&self) -> f64 {
+        percentage(self.l1d_misses(), self.l1d_accesses)
+    }
+
+    /// Cache-hierarchy miss rate in percent: L2 misses over L1 accesses
+    /// (the paper's §IV-D definition).
+    pub fn hierarchy_miss_rate(&self) -> f64 {
+        percentage(self.l2_misses, self.l1d_accesses)
+    }
+
+    /// Component-wise addition.
+    pub fn merge(&mut self, other: &MissStats) {
+        self.l1d_accesses += other.l1d_accesses;
+        self.cold_misses += other.cold_misses;
+        self.capacity_misses += other.capacity_misses;
+        self.sharing_misses += other.sharing_misses;
+        self.l2_misses += other.l2_misses;
+        self.l2_accesses += other.l2_accesses;
+    }
+}
+
+fn percentage(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Raw event counts feeding the dynamic energy model (Fig. 6).
+///
+/// The simulator produces these; `crono-energy` multiplies them by
+/// per-event energies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// Instruction-cache accesses (≈ instructions fetched).
+    pub l1i_accesses: u64,
+    /// Data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L2 slice accesses (including fills and writebacks).
+    pub l2_accesses: u64,
+    /// Directory lookups/updates at the L2 home.
+    pub directory_accesses: u64,
+    /// Flit-hops through mesh routers.
+    pub router_flit_hops: u64,
+    /// Flit-hops over mesh links.
+    pub link_flit_hops: u64,
+    /// DRAM line transfers.
+    pub dram_accesses: u64,
+}
+
+impl EnergyCounters {
+    /// Component-wise addition.
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.l1i_accesses += other.l1i_accesses;
+        self.l1d_accesses += other.l1d_accesses;
+        self.l2_accesses += other.l2_accesses;
+        self.directory_accesses += other.directory_accesses;
+        self.router_flit_hops += other.router_flit_hops;
+        self.link_flit_hops += other.link_flit_hops;
+        self.dram_accesses += other.dram_accesses;
+    }
+}
+
+/// Per-thread results collected by every backend.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadReport {
+    /// Instructions executed (memory + compute + sync ops), the load-
+    /// imbalance metric of §IV-E.
+    pub instructions: u64,
+    /// Thread-local completion time in cycles (simulated backend) or
+    /// nanoseconds (native backend).
+    pub finish_time: u64,
+    /// Thread-local completion-time breakdown (zero on the native
+    /// backend, which cannot observe its own microarchitecture).
+    pub breakdown: Breakdown,
+    /// `(time, active_vertices)` samples recorded via
+    /// [`crate::ThreadCtx::record_active`].
+    pub active_samples: Vec<(u64, u64)>,
+}
+
+/// The aggregate result of one [`crate::Machine::run`].
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Which backend produced this report (`"native"` / `"sim"`).
+    pub backend: &'static str,
+    /// Wall-clock time of the parallel region.
+    pub wall: Duration,
+    /// Completion time of the parallel region: max simulated thread cycle
+    /// count (simulated backend) or wall nanoseconds (native backend).
+    pub completion: u64,
+    /// Per-thread reports, indexed by thread id.
+    pub threads: Vec<ThreadReport>,
+    /// Aggregate miss statistics (simulated backend only).
+    pub misses: MissStats,
+    /// Aggregate energy event counters (simulated backend only).
+    pub energy: EnergyCounters,
+}
+
+impl RunReport {
+    /// Aggregate breakdown over all threads.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut total = Breakdown::default();
+        for t in &self.threads {
+            total.merge(&t.breakdown);
+        }
+        total
+    }
+
+    /// CRONO's load-imbalance metric (§IV-E, Eq. 2):
+    /// `(max(thread instr) − min(thread instr)) / max(thread instr)`.
+    pub fn variability(&self) -> f64 {
+        let max = self.threads.iter().map(|t| t.instructions).max();
+        let min = self.threads.iter().map(|t| t.instructions).min();
+        match (max, min) {
+            (Some(max), Some(min)) if max > 0 => (max - min) as f64 / max as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// All threads' active-vertex samples merged and sorted by time.
+    pub fn active_vertex_trace(&self) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self
+            .threads
+            .iter()
+            .flat_map(|t| t.active_samples.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_merge() {
+        let mut a = Breakdown {
+            compute: 10,
+            l1_to_l2home: 5,
+            ..Breakdown::default()
+        };
+        let b = Breakdown {
+            synchronization: 7,
+            ..Breakdown::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 22);
+        assert_eq!(a.components()[5], ("Synchronization", 7));
+    }
+
+    #[test]
+    fn miss_rates() {
+        let m = MissStats {
+            l1d_accesses: 200,
+            cold_misses: 5,
+            capacity_misses: 10,
+            sharing_misses: 5,
+            l2_misses: 2,
+            l2_accesses: 20,
+        };
+        assert_eq!(m.l1d_misses(), 20);
+        assert!((m.l1d_miss_rate() - 10.0).abs() < 1e-9);
+        assert!((m.hierarchy_miss_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_rates_with_no_accesses_are_zero() {
+        assert_eq!(MissStats::default().l1d_miss_rate(), 0.0);
+        assert_eq!(MissStats::default().hierarchy_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn variability_matches_equation_2() {
+        let report = RunReport {
+            threads: vec![
+                ThreadReport {
+                    instructions: 100,
+                    ..ThreadReport::default()
+                },
+                ThreadReport {
+                    instructions: 60,
+                    ..ThreadReport::default()
+                },
+            ],
+            ..RunReport::default()
+        };
+        assert!((report.variability() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variability_of_empty_report_is_zero() {
+        assert_eq!(RunReport::default().variability(), 0.0);
+    }
+
+    #[test]
+    fn active_trace_sorted() {
+        let report = RunReport {
+            threads: vec![
+                ThreadReport {
+                    active_samples: vec![(5, 1), (1, 2)],
+                    ..ThreadReport::default()
+                },
+                ThreadReport {
+                    active_samples: vec![(3, 4)],
+                    ..ThreadReport::default()
+                },
+            ],
+            ..RunReport::default()
+        };
+        assert_eq!(report.active_vertex_trace(), vec![(1, 2), (3, 4), (5, 1)]);
+    }
+}

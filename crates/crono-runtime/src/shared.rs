@@ -1,0 +1,559 @@
+use crate::{alloc_region, Addr, Region, ThreadCtx};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+const LOAD: Ordering = Ordering::Acquire;
+const STORE: Ordering = Ordering::Release;
+const RMW: Ordering = Ordering::AcqRel;
+
+macro_rules! shared_uint_array {
+    ($(#[$meta:meta])* $name:ident, $atomic:ty, $elem:ty, $size:expr) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        pub struct $name {
+            region: Region,
+            data: Vec<$atomic>,
+        }
+
+        impl $name {
+            /// Creates `n` zero-initialized elements.
+            pub fn new(n: usize) -> Self {
+                Self::filled(n, 0)
+            }
+
+            /// Creates `n` elements, all set to `value`.
+            pub fn filled(n: usize, value: $elem) -> Self {
+                $name {
+                    region: alloc_region(n as u64 * $size),
+                    data: (0..n).map(|_| <$atomic>::new(value)).collect(),
+                }
+            }
+
+            /// Creates the array from existing values.
+            pub fn from_values(values: impl IntoIterator<Item = $elem>) -> Self {
+                let data: Vec<$atomic> =
+                    values.into_iter().map(<$atomic>::new).collect();
+                $name {
+                    region: alloc_region(data.len() as u64 * $size),
+                    data,
+                }
+            }
+
+            /// Number of elements.
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            /// Whether the array is empty.
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            /// Symbolic address of element `i`.
+            pub fn addr(&self, i: usize) -> Addr {
+                self.region.addr(i, $size)
+            }
+
+            /// Reads element `i` through the context.
+            #[inline]
+            pub fn get<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> $elem {
+                ctx.load(self.addr(i));
+                self.data[i].load(LOAD)
+            }
+
+            /// Writes element `i` through the context.
+            #[inline]
+            pub fn set<C: ThreadCtx>(&self, ctx: &mut C, i: usize, v: $elem) {
+                ctx.store(self.addr(i));
+                self.data[i].store(v, STORE)
+            }
+
+            /// Atomically adds `v` to element `i`, returning the previous
+            /// value.
+            #[inline]
+            pub fn fetch_add<C: ThreadCtx>(&self, ctx: &mut C, i: usize, v: $elem) -> $elem {
+                ctx.rmw(self.addr(i));
+                self.data[i].fetch_add(v, RMW)
+            }
+
+            /// Atomically lowers element `i` to `min(current, v)`,
+            /// returning the previous value.
+            #[inline]
+            pub fn fetch_min<C: ThreadCtx>(&self, ctx: &mut C, i: usize, v: $elem) -> $elem {
+                ctx.rmw(self.addr(i));
+                self.data[i].fetch_min(v, RMW)
+            }
+
+            /// Atomically raises element `i` to `max(current, v)`,
+            /// returning the previous value.
+            #[inline]
+            pub fn fetch_max<C: ThreadCtx>(&self, ctx: &mut C, i: usize, v: $elem) -> $elem {
+                ctx.rmw(self.addr(i));
+                self.data[i].fetch_max(v, RMW)
+            }
+
+            /// Atomic compare-exchange on element `i`; returns `Ok(old)` on
+            /// success or `Err(actual)`.
+            #[inline]
+            pub fn compare_exchange<C: ThreadCtx>(
+                &self,
+                ctx: &mut C,
+                i: usize,
+                current: $elem,
+                new: $elem,
+            ) -> Result<$elem, $elem> {
+                ctx.rmw(self.addr(i));
+                self.data[i].compare_exchange(current, new, RMW, LOAD)
+            }
+
+            /// Reads element `i` without touching any context — for result
+            /// extraction *outside* the timed parallel region only.
+            pub fn get_plain(&self, i: usize) -> $elem {
+                self.data[i].load(LOAD)
+            }
+
+            /// Writes element `i` without touching any context — for
+            /// initialization *outside* the timed parallel region only.
+            pub fn set_plain(&self, i: usize, v: $elem) {
+                self.data[i].store(v, STORE)
+            }
+
+            /// Snapshot of all values (outside the timed region).
+            pub fn to_vec(&self) -> Vec<$elem> {
+                self.data.iter().map(|a| a.load(LOAD)).collect()
+            }
+        }
+    };
+}
+
+shared_uint_array!(
+    /// A shared array of `u32` with context-integrated atomic accessors.
+    ///
+    /// Every accessor performs the *real* atomic operation on host memory
+    /// and reports the access (with its symbolic [`Addr`]) to the
+    /// [`ThreadCtx`], so the simulated backend sees the benchmark's true
+    /// data-dependent access stream.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crono_runtime::{Machine, NativeMachine, SharedU32s};
+    ///
+    /// let dist = SharedU32s::filled(4, u32::MAX);
+    /// NativeMachine::new(2).run(|ctx| {
+    ///     dist.fetch_min(ctx, 0, 10);
+    /// });
+    /// assert_eq!(dist.get_plain(0), 10);
+    /// ```
+    SharedU32s,
+    AtomicU32,
+    u32,
+    4
+);
+
+shared_uint_array!(
+    /// A shared array of `u64` with context-integrated atomic accessors.
+    /// See [`SharedU32s`] for the access discipline.
+    SharedU64s,
+    AtomicU64,
+    u64,
+    8
+);
+
+/// A shared array of `f64` (bit-cast into `AtomicU64`) with
+/// context-integrated accessors; `fetch_add` is a compare-exchange loop,
+/// as in the pthreads original's locked floating-point updates.
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{Machine, NativeMachine, SharedF64s};
+///
+/// let ranks = SharedF64s::filled(4, 0.25);
+/// NativeMachine::new(4).run(|ctx| {
+///     ranks.fetch_add(ctx, 0, 0.25);
+/// });
+/// assert!((ranks.get_plain(0) - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct SharedF64s {
+    region: Region,
+    data: Vec<AtomicU64>,
+}
+
+impl SharedF64s {
+    /// Creates `n` elements all set to `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        SharedF64s {
+            region: alloc_region(n as u64 * 8),
+            data: (0..n).map(|_| AtomicU64::new(value.to_bits())).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Symbolic address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.region.addr(i, 8)
+    }
+
+    /// Reads element `i` through the context.
+    #[inline]
+    pub fn get<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> f64 {
+        ctx.load(self.addr(i));
+        f64::from_bits(self.data[i].load(LOAD))
+    }
+
+    /// Writes element `i` through the context.
+    #[inline]
+    pub fn set<C: ThreadCtx>(&self, ctx: &mut C, i: usize, v: f64) {
+        ctx.store(self.addr(i));
+        self.data[i].store(v.to_bits(), STORE)
+    }
+
+    /// Atomically adds `v` to element `i` (CAS loop), returning the
+    /// previous value.
+    #[inline]
+    pub fn fetch_add<C: ThreadCtx>(&self, ctx: &mut C, i: usize, v: f64) -> f64 {
+        ctx.rmw(self.addr(i));
+        let mut cur = self.data[i].load(LOAD);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.data[i].compare_exchange_weak(cur, new, RMW, LOAD) {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reads element `i` without a context (outside the timed region).
+    pub fn get_plain(&self, i: usize) -> f64 {
+        f64::from_bits(self.data[i].load(LOAD))
+    }
+
+    /// Writes element `i` without a context (outside the timed region).
+    pub fn set_plain(&self, i: usize, v: f64) {
+        self.data[i].store(v.to_bits(), STORE)
+    }
+
+    /// Snapshot of all values (outside the timed region).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.data
+            .iter()
+            .map(|a| f64::from_bits(a.load(LOAD)))
+            .collect()
+    }
+}
+
+/// A shared array of boolean flags (one byte each) with
+/// context-integrated accessors — CRONO's "which vertices are already
+/// checked" structures.
+#[derive(Debug)]
+pub struct SharedFlags {
+    region: Region,
+    data: Vec<AtomicU8>,
+}
+
+impl SharedFlags {
+    /// Creates `n` flags, all `false`.
+    pub fn new(n: usize) -> Self {
+        SharedFlags {
+            region: alloc_region(n as u64),
+            data: (0..n).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Symbolic address of flag `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.region.addr(i, 1)
+    }
+
+    /// Reads flag `i` through the context.
+    #[inline]
+    pub fn get<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> bool {
+        ctx.load(self.addr(i));
+        self.data[i].load(LOAD) != 0
+    }
+
+    /// Writes flag `i` through the context.
+    #[inline]
+    pub fn set<C: ThreadCtx>(&self, ctx: &mut C, i: usize, v: bool) {
+        ctx.store(self.addr(i));
+        self.data[i].store(v as u8, STORE)
+    }
+
+    /// Atomically sets flag `i`, returning whether it was previously set
+    /// (test-and-set claim, CRONO's "vertex capture" primitive).
+    #[inline]
+    pub fn test_and_set<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> bool {
+        ctx.rmw(self.addr(i));
+        self.data[i].swap(1, RMW) != 0
+    }
+
+    /// Reads flag `i` without a context (outside the timed region).
+    pub fn get_plain(&self, i: usize) -> bool {
+        self.data[i].load(LOAD) != 0
+    }
+
+    /// Writes flag `i` without a context (outside the timed region).
+    pub fn set_plain(&self, i: usize, v: bool) {
+        self.data[i].store(v as u8, STORE)
+    }
+
+    /// Clears all flags (outside the timed region).
+    pub fn clear_all(&self) {
+        for f in &self.data {
+            f.store(0, STORE);
+        }
+    }
+}
+
+/// A read-only view of host data with symbolic addresses — used for the
+/// graph arrays, which every thread reads but none writes.
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{Machine, NativeMachine, ReadArray};
+///
+/// let weights = vec![3u32, 1, 4, 1, 5];
+/// let shared = ReadArray::new(&weights);
+/// NativeMachine::new(2).run(|ctx| {
+///     assert_eq!(shared.get(ctx, 2), 4);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct ReadArray<'a, T> {
+    region: Region,
+    data: &'a [T],
+    elem_size: u64,
+}
+
+impl<'a, T: Copy> ReadArray<'a, T> {
+    /// Wraps `data`, allocating a symbolic region sized to it.
+    pub fn new(data: &'a [T]) -> Self {
+        let elem_size = std::mem::size_of::<T>() as u64;
+        ReadArray {
+            region: alloc_region(data.len() as u64 * elem_size),
+            data,
+            elem_size,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Symbolic address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.region.addr(i, self.elem_size)
+    }
+
+    /// Reads element `i` through the context.
+    #[inline]
+    pub fn get<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> T {
+        ctx.load(self.addr(i));
+        self.data[i]
+    }
+
+    /// The underlying slice (no context; for use outside the timed
+    /// region).
+    pub fn as_slice(&self) -> &'a [T] {
+        self.data
+    }
+}
+
+/// A thread-*private* array with symbolic addresses — per-thread scratch
+/// data (Dijkstra distance arrays, local frontiers) that the simulator
+/// should still see cache traffic for, without any atomic overhead.
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{Machine, NativeMachine, TrackedVec};
+///
+/// NativeMachine::new(1).run(|ctx| {
+///     let mut dist = TrackedVec::filled(8, u32::MAX);
+///     dist.set(ctx, 3, 7);
+///     assert_eq!(dist.get(ctx, 3), 7);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct TrackedVec<T> {
+    region: Region,
+    data: Vec<T>,
+}
+
+impl<T: Copy> TrackedVec<T> {
+    /// Creates `n` elements all set to `value`.
+    pub fn filled(n: usize, value: T) -> Self {
+        TrackedVec {
+            region: alloc_region(n as u64 * std::mem::size_of::<T>() as u64),
+            data: vec![value; n],
+        }
+    }
+
+    /// Wraps existing values.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        TrackedVec {
+            region: alloc_region(data.len() as u64 * std::mem::size_of::<T>() as u64),
+            data,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Symbolic address of element `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.region.addr(i, std::mem::size_of::<T>() as u64)
+    }
+
+    /// Reads element `i` through the context.
+    #[inline]
+    pub fn get<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> T {
+        ctx.load(self.addr(i));
+        self.data[i]
+    }
+
+    /// Writes element `i` through the context.
+    #[inline]
+    pub fn set<C: ThreadCtx>(&mut self, ctx: &mut C, i: usize, v: T) {
+        ctx.store(self.addr(i));
+        self.data[i] = v;
+    }
+
+    /// The underlying slice (no context).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the array, returning the values.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, NativeMachine};
+
+    #[test]
+    fn tracked_vec_round_trips() {
+        NativeMachine::new(1).run(|ctx| {
+            let mut v = TrackedVec::filled(4, 0u64);
+            v.set(ctx, 2, 9);
+            assert_eq!(v.get(ctx, 2), 9);
+            assert_eq!(v.as_slice(), &[0, 0, 9, 0]);
+        });
+    }
+
+    #[test]
+    fn u32_fetch_min_converges() {
+        let arr = SharedU32s::filled(1, 1000);
+        NativeMachine::new(8).run(|ctx| {
+            arr.fetch_min(ctx, 0, 10 + ctx.thread_id() as u32);
+        });
+        assert_eq!(arr.get_plain(0), 10);
+    }
+
+    #[test]
+    fn u64_fetch_add_is_atomic() {
+        let arr = SharedU64s::new(1);
+        NativeMachine::new(8).run(|ctx| {
+            for _ in 0..1000 {
+                arr.fetch_add(ctx, 0, 1);
+            }
+        });
+        assert_eq!(arr.get_plain(0), 8000);
+    }
+
+    #[test]
+    fn f64_fetch_add_is_atomic() {
+        let arr = SharedF64s::filled(1, 0.0);
+        NativeMachine::new(4).run(|ctx| {
+            for _ in 0..100 {
+                arr.fetch_add(ctx, 0, 0.5);
+            }
+        });
+        assert!((arr.get_plain(0) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flags_test_and_set_claims_once() {
+        let flags = SharedFlags::new(1);
+        let claims = SharedU64s::new(1);
+        NativeMachine::new(8).run(|ctx| {
+            if !flags.test_and_set(ctx, 0) {
+                claims.fetch_add(ctx, 0, 1);
+            }
+        });
+        assert_eq!(claims.get_plain(0), 1, "exactly one thread claims");
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let arr = SharedU32s::filled(1, 5);
+        NativeMachine::new(1).run(|ctx| {
+            assert_eq!(arr.compare_exchange(ctx, 0, 5, 7), Ok(5));
+            assert_eq!(arr.compare_exchange(ctx, 0, 5, 9), Err(7));
+        });
+    }
+
+    #[test]
+    fn addresses_are_contiguous() {
+        let arr = SharedU32s::new(32);
+        assert_eq!(arr.addr(1).raw() - arr.addr(0).raw(), 4);
+        assert_eq!(arr.addr(16).line() - arr.addr(0).line(), 1);
+    }
+
+    #[test]
+    fn read_array_round_trips() {
+        let data = vec![1u64, 2, 3];
+        let arr = ReadArray::new(&data);
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr.as_slice(), &[1, 2, 3]);
+        NativeMachine::new(1).run(|ctx| {
+            assert_eq!(arr.get(ctx, 1), 2);
+        });
+    }
+
+    #[test]
+    fn to_vec_snapshots() {
+        let arr = SharedU32s::from_values([9, 8, 7]);
+        assert_eq!(arr.to_vec(), vec![9, 8, 7]);
+        arr.set_plain(1, 0);
+        assert_eq!(arr.to_vec(), vec![9, 0, 7]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the execution-abstraction crate.
+
+use crono_runtime::{
+    alloc_region, LockSet, Machine, NativeMachine, SharedF64s, SharedU32s, SharedU64s,
+    ThreadCtx, TrackedVec, LINE_SIZE,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn regions_never_overlap(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let regions: Vec<_> = sizes.iter().map(|&s| alloc_region(s)).collect();
+        for (i, a) in regions.iter().enumerate() {
+            prop_assert_eq!(a.base().raw() % LINE_SIZE, 0);
+            for b in regions.iter().skip(i + 1) {
+                let a_end = a.base().raw() + a.bytes();
+                let b_end = b.base().raw() + b.bytes();
+                prop_assert!(a_end <= b.base().raw() || b_end <= a.base().raw());
+            }
+        }
+    }
+
+    #[test]
+    fn element_addresses_are_within_region(len in 1usize..500, elem in 1u64..16) {
+        let r = alloc_region(len as u64 * elem);
+        for i in 0..len {
+            let a = r.addr(i, elem);
+            prop_assert!(a.raw() >= r.base().raw());
+            prop_assert!(a.raw() + elem <= r.base().raw() + r.bytes());
+        }
+    }
+
+    #[test]
+    fn shared_u32_concurrent_adds_sum_exactly(
+        threads in 1usize..6, per_thread in 1usize..200,
+    ) {
+        let arr = SharedU32s::new(1);
+        NativeMachine::new(threads).run(|ctx| {
+            for _ in 0..per_thread {
+                arr.fetch_add(ctx, 0, 1);
+            }
+        });
+        prop_assert_eq!(arr.get_plain(0) as usize, threads * per_thread);
+    }
+
+    #[test]
+    fn shared_f64_adds_commute(values in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+        let arr = SharedF64s::filled(1, 0.0);
+        let expected: f64 = values.iter().sum();
+        NativeMachine::new(4).run(|ctx| {
+            for (i, v) in values.iter().enumerate() {
+                if i % 4 == ctx.thread_id() {
+                    arr.fetch_add(ctx, 0, *v);
+                }
+            }
+        });
+        prop_assert!((arr.get_plain(0) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fetch_min_finds_global_minimum(values in proptest::collection::vec(0u32..10_000, 1..64)) {
+        let arr = SharedU32s::filled(1, u32::MAX);
+        let min = *values.iter().min().unwrap();
+        NativeMachine::new(4).run(|ctx| {
+            for (i, v) in values.iter().enumerate() {
+                if i % 4 == ctx.thread_id() {
+                    arr.fetch_min(ctx, 0, *v);
+                }
+            }
+        });
+        prop_assert_eq!(arr.get_plain(0), min);
+    }
+
+    #[test]
+    fn lock_protected_counter_is_exact(threads in 1usize..5, rounds in 1usize..100) {
+        let locks = LockSet::new(1);
+        let counter = SharedU64s::new(1);
+        NativeMachine::new(threads).run(|ctx| {
+            for _ in 0..rounds {
+                ctx.lock(&locks, 0);
+                let v = counter.get(ctx, 0);
+                counter.set(ctx, 0, v + 1);
+                ctx.unlock(&locks, 0);
+            }
+        });
+        prop_assert_eq!(counter.get_plain(0) as usize, threads * rounds);
+    }
+
+    #[test]
+    fn tracked_vec_behaves_like_vec(writes in proptest::collection::vec((0usize..32, 0u64..1000), 0..100)) {
+        NativeMachine::new(1).run(|ctx| {
+            let mut tracked = TrackedVec::filled(32, 0u64);
+            let mut reference = vec![0u64; 32];
+            for &(i, v) in &writes {
+                tracked.set(ctx, i, v);
+                reference[i] = v;
+            }
+            assert_eq!(tracked.as_slice(), &reference[..]);
+        });
+    }
+
+    #[test]
+    fn instruction_counts_are_deterministic_per_thread(ops in 1u32..500) {
+        let outcome = NativeMachine::new(3).run(|ctx| {
+            ctx.compute(ops);
+            ctx.instructions()
+        });
+        for &count in &outcome.per_thread {
+            prop_assert_eq!(count, ops as u64);
+        }
+        prop_assert_eq!(outcome.report.variability(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Off-chip memory: 8 controllers with finite per-controller bandwidth
+//! (Table II: 5 GBps each, 100 ns latency). As with the NoC, queueing is
+//! modeled with skew-tolerant epoch utilization counters rather than
+//! absolute reservations (see `noc` module docs): a line access pays
+//! queueing delay when its controller's epoch already holds more line
+//! transfers than the bandwidth allows.
+
+use crate::config::SimConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated cycles per DRAM accounting epoch.
+pub const DRAM_EPOCH_CYCLES: u64 = 512;
+/// Ring slots per controller.
+pub const DRAM_EPOCH_SLOTS: usize = 32;
+/// Queueing delay cap (bounds pathological overload).
+const MAX_QUEUE_DELAY: u64 = 4 * DRAM_EPOCH_CYCLES;
+
+/// The DRAM subsystem.
+#[derive(Debug)]
+pub struct Dram {
+    /// Core index each controller is attached to (spread over the mesh).
+    ctrl_cores: Vec<usize>,
+    /// `slots[ctrl * DRAM_EPOCH_SLOTS + epoch % SLOTS]` packs
+    /// `(epoch_tag << 32) | line_count`.
+    slots: Vec<AtomicU64>,
+    latency: u64,
+    service: u64,
+    /// Lines one controller can stream per epoch.
+    lines_per_epoch: u64,
+    accesses: AtomicU64,
+}
+
+impl Dram {
+    /// Builds the DRAM subsystem for `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        let n = config.dram.controllers.min(config.num_cores);
+        let stride = config.num_cores / n;
+        let service = config.dram_service_cycles();
+        Dram {
+            ctrl_cores: (0..n).map(|i| i * stride).collect(),
+            slots: (0..n * DRAM_EPOCH_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            latency: config.dram_latency_cycles(),
+            service,
+            lines_per_epoch: (DRAM_EPOCH_CYCLES / service).max(1),
+            accesses: AtomicU64::new(0),
+        }
+    }
+
+    /// Which controller serves `line`, and the core it is attached to.
+    pub fn controller_for(&self, line: u64) -> (usize, usize) {
+        let idx = (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.ctrl_cores.len();
+        (idx, self.ctrl_cores[idx])
+    }
+
+    /// Services one line access arriving at the controller at cycle
+    /// `arrive`; returns the cycle data is available at the controller.
+    /// Epoch overload models the 5 GBps bandwidth limit.
+    pub fn access(&self, ctrl: usize, arrive: u64) -> u64 {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        let epoch = arrive / DRAM_EPOCH_CYCLES;
+        let cell = &self.slots[ctrl * DRAM_EPOCH_SLOTS + (epoch as usize % DRAM_EPOCH_SLOTS)];
+        let this_tag = epoch & 0xFFFF_FFFF;
+        let mut cur = cell.load(Ordering::Relaxed);
+        let occupied = loop {
+            let (tag, count) = (cur >> 32, cur & 0xFFFF_FFFF);
+            let (new, occupied) = if tag == this_tag {
+                ((this_tag << 32) | (count + 1), count)
+            } else {
+                ((this_tag << 32) | 1, 0)
+            };
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break occupied,
+                Err(actual) => cur = actual,
+            }
+        };
+        let over_lines = (occupied + 1).saturating_sub(self.lines_per_epoch);
+        let delay = (over_lines * self.service).min(MAX_QUEUE_DELAY);
+        arrive + delay + self.latency
+    }
+
+    /// Total line transfers so far.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(&SimConfig::default())
+    }
+
+    #[test]
+    fn latency_without_queueing() {
+        let d = dram();
+        assert_eq!(d.access(0, 1000), 1100);
+    }
+
+    #[test]
+    fn epoch_capacity_matches_bandwidth() {
+        let d = dram();
+        // 512 cycles / 13 cycles-per-line = 39 lines per epoch.
+        assert_eq!(d.lines_per_epoch, 39);
+    }
+
+    #[test]
+    fn overload_queues_with_service_granularity() {
+        let d = dram();
+        let mut last = 0;
+        for _ in 0..45 {
+            last = d.access(0, 0);
+        }
+        // 45 lines into a 39-line epoch: 6 lines of overload.
+        assert_eq!(last, 6 * 13 + 100);
+        assert_eq!(d.total_accesses(), 45);
+    }
+
+    #[test]
+    fn controllers_are_independent() {
+        let d = dram();
+        for _ in 0..100 {
+            d.access(0, 0);
+        }
+        assert_eq!(d.access(1, 0), 100, "other controller unqueued");
+    }
+
+    #[test]
+    fn skewed_clocks_do_not_poison_controllers() {
+        let d = dram();
+        for _ in 0..100 {
+            d.access(0, 1_000_000);
+        }
+        assert_eq!(d.access(0, 0), 100, "earlier epoch unaffected");
+    }
+
+    #[test]
+    fn queue_delay_is_capped() {
+        let d = dram();
+        for _ in 0..100_000 {
+            d.access(0, 0);
+        }
+        assert!(d.access(0, 0) <= 4 * DRAM_EPOCH_CYCLES + 100);
+    }
+
+    #[test]
+    fn controller_hash_covers_all_controllers() {
+        let d = dram();
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..10_000u64 {
+            seen.insert(d.controller_for(line).0);
+        }
+        assert_eq!(seen.len(), 8, "all 8 controllers used");
+    }
+}

@@ -1,0 +1,161 @@
+//! Asynchronous coherence-message delivery between cores.
+//!
+//! The home directory updates its own state synchronously, but the
+//! *holder's* private L1 belongs to another simulated thread. Messages are
+//! therefore queued and drained lazily by the owning thread at its next
+//! memory access — the same lax synchronization Graphite uses for cross-
+//! core state.
+//!
+//! Precise invalidations go to per-core inboxes; ACKWise broadcast
+//! invalidations go to a shared append-only log every core scans from its
+//! own cursor (pushing 255 messages per broadcast would dominate run
+//! time).
+
+use crossbeam::utils::CachePadded;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One coherence message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceMsg {
+    /// The affected cache line.
+    pub line: u64,
+    /// `true` = downgrade (M/E → S), `false` = invalidate.
+    pub downgrade: bool,
+}
+
+/// Per-core inboxes plus the broadcast log.
+#[derive(Debug)]
+pub struct Inboxes {
+    queues: Vec<Mutex<Vec<CoherenceMsg>>>,
+    pending: Vec<CachePadded<AtomicUsize>>,
+    broadcast_log: RwLock<Vec<u64>>,
+    broadcast_len: AtomicU64,
+}
+
+impl Inboxes {
+    /// Creates inboxes for `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        Inboxes {
+            queues: (0..num_cores).map(|_| Mutex::new(Vec::new())).collect(),
+            pending: (0..num_cores)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            broadcast_log: RwLock::new(Vec::new()),
+            broadcast_len: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues `msg` for `core`.
+    pub fn push(&self, core: usize, msg: CoherenceMsg) {
+        self.queues[core].lock().push(msg);
+        self.pending[core].fetch_add(1, Ordering::Release);
+    }
+
+    /// Records a broadcast invalidation of `line` (every core must drop
+    /// it).
+    pub fn push_broadcast(&self, line: u64) {
+        let mut log = self.broadcast_log.write();
+        log.push(line);
+        self.broadcast_len
+            .store(log.len() as u64, Ordering::Release);
+    }
+
+    /// Cheap check: does `core` have anything to drain beyond
+    /// `broadcast_cursor`?
+    #[inline]
+    pub fn has_pending(&self, core: usize, broadcast_cursor: u64) -> bool {
+        self.pending[core].load(Ordering::Acquire) != 0
+            || self.broadcast_len.load(Ordering::Acquire) > broadcast_cursor
+    }
+
+    /// Takes all queued precise messages for `core`.
+    pub fn drain(&self, core: usize) -> Vec<CoherenceMsg> {
+        if self.pending[core].load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut q = self.queues[core].lock();
+        let msgs = std::mem::take(&mut *q);
+        self.pending[core].store(0, Ordering::Release);
+        msgs
+    }
+
+    /// Calls `f` for every broadcast line recorded after
+    /// `broadcast_cursor`; returns the new cursor.
+    pub fn drain_broadcasts(&self, broadcast_cursor: u64, mut f: impl FnMut(u64)) -> u64 {
+        let len = self.broadcast_len.load(Ordering::Acquire);
+        if len <= broadcast_cursor {
+            return broadcast_cursor;
+        }
+        let log = self.broadcast_log.read();
+        for &line in &log[broadcast_cursor as usize..len as usize] {
+            f(line);
+        }
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain() {
+        let ib = Inboxes::new(2);
+        assert!(!ib.has_pending(0, 0));
+        ib.push(
+            0,
+            CoherenceMsg {
+                line: 7,
+                downgrade: false,
+            },
+        );
+        assert!(ib.has_pending(0, 0));
+        assert!(!ib.has_pending(1, 0));
+        let msgs = ib.drain(0);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].line, 7);
+        assert!(!ib.has_pending(0, 0));
+        assert!(ib.drain(0).is_empty());
+    }
+
+    #[test]
+    fn broadcasts_visible_to_all_cursors() {
+        let ib = Inboxes::new(4);
+        ib.push_broadcast(10);
+        ib.push_broadcast(11);
+        let mut seen = Vec::new();
+        let cur = ib.drain_broadcasts(0, |l| seen.push(l));
+        assert_eq!(seen, vec![10, 11]);
+        assert_eq!(cur, 2);
+        // Second drain from the new cursor sees nothing.
+        let cur2 = ib.drain_broadcasts(cur, |_| panic!("nothing new"));
+        assert_eq!(cur2, 2);
+        // A fresh core (cursor 0) still sees both.
+        assert!(ib.has_pending(3, 0));
+        let mut seen2 = Vec::new();
+        ib.drain_broadcasts(0, |l| seen2.push(l));
+        assert_eq!(seen2, vec![10, 11]);
+    }
+
+    #[test]
+    fn concurrent_pushes_are_not_lost() {
+        let ib = Inboxes::new(1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        ib.push(
+                            0,
+                            CoherenceMsg {
+                                line: i,
+                                downgrade: false,
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(ib.drain(0).len(), 400);
+    }
+}

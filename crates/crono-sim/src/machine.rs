@@ -1,0 +1,1012 @@
+//! The simulated backend: Graphite-style direct execution.
+//!
+//! Each simulated thread runs on its own host thread, owns its private L1
+//! model and a local cycle clock, and interacts with shared state (L2
+//! slices with the directory, the mesh, DRAM, locks, barriers) through
+//! fine-grain locks and atomics. Thread clocks advance independently and
+//! meet at synchronization points — the same *lax synchronization* the
+//! Graphite paper describes, which is what lets a 256-core simulation run
+//! on a laptop.
+
+use crate::config::SimConfig;
+use crate::dram::Dram;
+use crate::inbox::{CoherenceMsg, Inboxes};
+use crate::l1::{L1Cache, L1Lookup, L1State, MissClass};
+use crate::l2::{home_of, L2Slice};
+use crate::noc::Mesh;
+use crono_runtime::{
+    Addr, Breakdown, EnergyCounters, LockSet, Machine, MissStats, RunOutcome, RunReport,
+    ThreadCtx, ThreadReport,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// The Graphite-style simulated multicore backend (paper §IV-B).
+///
+/// # Examples
+///
+/// ```
+/// use crono_sim::{SimConfig, SimMachine};
+/// use crono_runtime::{Machine, SharedU64s};
+///
+/// let machine = SimMachine::new(SimConfig::tiny(16), 4);
+/// let counters = SharedU64s::new(1);
+/// let outcome = machine.run(|ctx| {
+///     counters.fetch_add(ctx, 0, 1);
+/// });
+/// assert_eq!(counters.get_plain(0), 4);
+/// assert!(outcome.report.completion > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimMachine {
+    config: SimConfig,
+    threads: usize,
+}
+
+impl SimMachine {
+    /// Creates a simulated machine running `threads` threads on
+    /// `config.num_cores` cores (threads are spread evenly over the mesh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, `threads > config.num_cores`, or the
+    /// configuration is invalid.
+    pub fn new(config: SimConfig, threads: usize) -> Self {
+        config.validate();
+        assert!(threads > 0, "need at least one thread");
+        assert!(
+            threads <= config.num_cores,
+            "cannot run {threads} threads on {} cores",
+            config.num_cores
+        );
+        SimMachine { config, threads }
+    }
+
+    /// The architectural configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+impl Machine for SimMachine {
+    type Ctx = SimCtx;
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run<F, R>(&self, body: F) -> RunOutcome<R>
+    where
+        F: Fn(&mut Self::Ctx) -> R + Sync,
+        R: Send,
+    {
+        let shared = Arc::new(SimShared::new(&self.config, self.threads));
+        let start = Instant::now();
+        let mut results: Vec<Option<(R, ThreadReport, MissStats, EnergyCounters)>> = Vec::new();
+        results.resize_with(self.threads, || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            for tid in 0..self.threads {
+                let body = &body;
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    let mut ctx = SimCtx::new(shared, tid);
+                    let r = body(&mut ctx);
+                    let (report, misses, energy) = ctx.finish();
+                    (r, report, misses, energy)
+                }));
+            }
+            for (tid, h) in handles.into_iter().enumerate() {
+                results[tid] = Some(h.join().expect("simulated thread panicked"));
+            }
+        });
+        let wall = start.elapsed();
+        let mut per_thread = Vec::with_capacity(self.threads);
+        let mut threads = Vec::with_capacity(self.threads);
+        let mut misses = MissStats::default();
+        let mut energy = EnergyCounters::default();
+        for slot in results {
+            let (r, t, m, e) = slot.expect("every thread joined");
+            per_thread.push(r);
+            threads.push(t);
+            misses.merge(&m);
+            energy.merge(&e);
+        }
+        let completion = threads.iter().map(|t| t.finish_time).max().unwrap_or(0);
+        let report = RunReport {
+            backend: self.backend_name(),
+            wall,
+            completion,
+            threads,
+            misses,
+            energy,
+        };
+        RunOutcome { per_thread, report }
+    }
+}
+
+/// State shared by all simulated threads of one run.
+#[derive(Debug)]
+struct SimShared {
+    config: SimConfig,
+    mesh: Mesh,
+    dram: Dram,
+    shards: Vec<Mutex<L2Slice>>,
+    inboxes: Inboxes,
+    barrier: Barrier,
+    /// Sense-rotating barrier clock slots (see `SimCtx::barrier`).
+    barrier_slots: [AtomicU64; 4],
+    /// Core index each thread is pinned to.
+    core_map: Vec<usize>,
+}
+
+impl SimShared {
+    fn new(config: &SimConfig, threads: usize) -> Self {
+        let stride = config.num_cores / threads;
+        SimShared {
+            config: config.clone(),
+            mesh: Mesh::new(config.num_cores, config.mesh),
+            dram: Dram::new(config),
+            shards: (0..config.num_cores)
+                .map(|_| Mutex::new(L2Slice::new(config)))
+                .collect(),
+            inboxes: Inboxes::new(config.num_cores),
+            barrier: Barrier::new(threads),
+            barrier_slots: Default::default(),
+            core_map: (0..threads).map(|t| t * stride).collect(),
+        }
+    }
+}
+
+/// Cap on the per-request serialization wait charged at an L2 home
+/// (bounds queueing behind a hot line at several epochs of backlog).
+const HOME_WAIT_CAP: u64 = 4096;
+
+/// One outstanding miss in the out-of-order window.
+#[derive(Debug, Clone, Copy)]
+struct PendingMiss {
+    completion: u64,
+    comps: Breakdown,
+}
+
+/// Timing of one directory transaction.
+#[derive(Debug, Clone, Copy)]
+struct MissTiming {
+    completion: u64,
+    comps: Breakdown,
+    /// Whether the line was granted in Exclusive state.
+    exclusive: bool,
+}
+
+/// Per-thread context of the [`SimMachine`] backend.
+#[derive(Debug)]
+pub struct SimCtx {
+    shared: Arc<SimShared>,
+    tid: usize,
+    core: usize,
+    clock: u64,
+    l1: L1Cache,
+    breakdown: Breakdown,
+    misses: MissStats,
+    energy: EnergyCounters,
+    instructions: u64,
+    window: Vec<PendingMiss>,
+    mlp: usize,
+    store_buffer: bool,
+    generation: u64,
+    broadcast_cursor: u64,
+    /// Acquire clocks of currently-held locks, keyed by lock-word
+    /// address (for booking hold times at unlock).
+    held_since: std::collections::HashMap<u64, u64>,
+    /// This thread's own `(epoch, cycles)` bookings per lock word, so it
+    /// never queues behind itself.
+    my_bookings: std::collections::HashMap<u64, (u64, u64)>,
+    active_samples: Vec<(u64, u64)>,
+}
+
+impl SimCtx {
+    fn new(shared: Arc<SimShared>, tid: usize) -> Self {
+        let core = shared.core_map[tid];
+        let l1 = L1Cache::new(&shared.config);
+        let mlp = shared.config.core.max_outstanding_misses();
+        let store_buffer = shared.config.core.has_store_buffer();
+        SimCtx {
+            shared,
+            tid,
+            core,
+            clock: 0,
+            l1,
+            breakdown: Breakdown::default(),
+            misses: MissStats::default(),
+            energy: EnergyCounters::default(),
+            instructions: 0,
+            window: Vec::new(),
+            mlp,
+            store_buffer,
+            generation: 0,
+            broadcast_cursor: 0,
+            held_since: std::collections::HashMap::new(),
+            my_bookings: std::collections::HashMap::new(),
+            active_samples: Vec::new(),
+        }
+    }
+
+    /// The simulated cycle clock of this thread.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The mesh core this thread is pinned to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    fn finish(mut self) -> (ThreadReport, MissStats, EnergyCounters) {
+        self.drain_window();
+        self.energy.l1i_accesses = self.instructions;
+        self.energy.l1d_accesses = self.misses.l1d_accesses;
+        let report = ThreadReport {
+            instructions: self.instructions,
+            finish_time: self.clock,
+            breakdown: self.breakdown,
+            active_samples: self.active_samples,
+        };
+        (report, self.misses, self.energy)
+    }
+
+    // ------------------------------------------------------------------
+    // Coherence message handling (lax, Graphite-style).
+
+    fn drain_coherence(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        if !shared.inboxes.has_pending(self.core, self.broadcast_cursor) {
+            return;
+        }
+        for msg in shared.inboxes.drain(self.core) {
+            self.apply_msg(msg);
+        }
+        let mut lines = Vec::new();
+        self.broadcast_cursor = shared
+            .inboxes
+            .drain_broadcasts(self.broadcast_cursor, |l| lines.push(l));
+        for line in lines {
+            self.apply_msg(CoherenceMsg {
+                line,
+                downgrade: false,
+            });
+        }
+    }
+
+    fn apply_msg(&mut self, msg: CoherenceMsg) {
+        if msg.downgrade {
+            self.l1.coherence_downgrade(msg.line);
+        } else {
+            self.l1.coherence_invalidate(msg.line);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The memory-access state machine.
+
+    fn mem_op(&mut self, addr: Addr, write: bool, serialize: bool) {
+        self.instructions += 1;
+        self.misses.l1d_accesses += 1;
+        self.drain_coherence();
+        let l1_lat = self.shared.config.l1d.latency;
+        self.clock += l1_lat;
+        self.breakdown.compute += l1_lat;
+        let line = addr.line();
+        let lookup = self.l1.access(line, write);
+        if lookup == L1Lookup::Hit {
+            if serialize {
+                self.drain_window();
+            }
+            return;
+        }
+        let upgrade = lookup == L1Lookup::UpgradeMiss;
+        let class = self.l1.classify_miss(line, upgrade);
+        match class {
+            MissClass::Cold => self.misses.cold_misses += 1,
+            MissClass::Capacity => self.misses.capacity_misses += 1,
+            MissClass::Sharing => self.misses.sharing_misses += 1,
+        }
+        if serialize {
+            // Atomic RMWs order the pipeline: everything older retires
+            // first, and the RMW itself stalls to completion.
+            self.drain_window();
+        }
+        // Locality-aware coherence (§VII-A extension): a first touch is
+        // served remotely at the home — word-granularity reply, no L1
+        // allocation — so low-locality lines never thrash the L1 or join
+        // the sharer set. Reuse (any later touch) allocates normally.
+        let remote = self.shared.config.locality_aware && !upgrade && class == MissClass::Cold;
+        let timing = self.transaction(line, write, upgrade, !remote);
+        if upgrade {
+            self.l1.promote(line);
+        } else if remote {
+            self.l1.note_touch(line);
+        } else {
+            let state = if write {
+                L1State::Modified
+            } else if timing.exclusive {
+                L1State::Exclusive
+            } else {
+                L1State::Shared
+            };
+            if let Some((vline, vstate)) = self.l1.fill(line, state) {
+                if vstate == L1State::Modified {
+                    self.writeback_victim(vline);
+                }
+            }
+        }
+        let hide = !serialize && self.mlp > 1 && (self.store_buffer || !write);
+        if hide {
+            self.window.push(PendingMiss {
+                completion: timing.completion,
+                comps: timing.comps,
+            });
+            if self.window.len() >= self.mlp {
+                self.retire_one();
+            }
+        } else {
+            self.stall_until(timing.completion, &timing.comps);
+        }
+    }
+
+    fn stall_until(&mut self, completion: u64, comps: &Breakdown) {
+        if completion <= self.clock {
+            return;
+        }
+        let visible = completion - self.clock;
+        let total = comps.total();
+        self.add_scaled(comps, visible, total.max(1));
+        self.clock = completion;
+    }
+
+    fn retire_one(&mut self) {
+        let idx = self
+            .window
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.completion)
+            .map(|(i, _)| i)
+            .expect("retire_one on non-empty window");
+        let p = self.window.swap_remove(idx);
+        self.stall_until(p.completion, &p.comps);
+    }
+
+    fn drain_window(&mut self) {
+        while !self.window.is_empty() {
+            self.retire_one();
+        }
+    }
+
+    fn add_scaled(&mut self, comps: &Breakdown, num: u64, den: u64) {
+        let scale = |x: u64| ((x as u128 * num as u128) / den as u128) as u64;
+        self.breakdown.l1_to_l2home += scale(comps.l1_to_l2home);
+        self.breakdown.l2home_waiting += scale(comps.l2home_waiting);
+        self.breakdown.l2home_sharers += scale(comps.l2home_sharers);
+        self.breakdown.l2home_offchip += scale(comps.l2home_offchip);
+    }
+
+    fn note_traffic(&mut self, flit_hops: u64) {
+        self.energy.router_flit_hops += flit_hops;
+        self.energy.link_flit_hops += flit_hops;
+    }
+
+    /// One full directory transaction at the line's home, returning its
+    /// completion time and component split. Home-side directory state is
+    /// updated synchronously; remote L1 state via inbox messages (lax).
+    /// With `allocate == false` the access is served remotely (word
+    /// reply, requester not registered in the directory).
+    fn transaction(&mut self, line: u64, write: bool, upgrade: bool, allocate: bool) -> MissTiming {
+        let shared = Arc::clone(&self.shared);
+        let cfg = &shared.config;
+        let me = self.core as u16;
+        let issue = self.clock;
+        let home = home_of(line, cfg.num_cores);
+        let ctrl = cfg.control_flits();
+        let data = cfg.data_flits();
+
+        let req = shared.mesh.traverse(self.core, home, issue, ctrl);
+        self.note_traffic(req.flit_hops);
+
+        let waiting;
+        let mut offchip = 0;
+        let mut sharers_time = 0;
+        let reply_depart;
+        let mut exclusive = false;
+        {
+            let mut slice = shared.shards[home].lock();
+            let crate::l2::HomeLine {
+                entry,
+                was_miss,
+                victim,
+            } = slice.prepare(line);
+            // Requests to one line serialize at the home: a request
+            // queues behind the service time already booked on the line
+            // within its own accounting epoch (skew-tolerant — see the
+            // `noc` module docs for why absolute timestamps cannot work
+            // under lax thread clocks).
+            let epoch = req.arrival / crate::l2::HOME_EPOCH_CYCLES;
+            if entry.queue_epoch != epoch {
+                entry.queue_epoch = epoch;
+                entry.queue_busy = 0;
+            }
+            waiting = entry.queue_busy.min(HOME_WAIT_CAP);
+            let serve = req.arrival + waiting;
+            let mut t = serve + cfg.l2.latency;
+            // Clean shared-read hits pipeline at the home; only fills and
+            // ownership changes serialize later requests.
+            let mut serializes = was_miss || write;
+            self.misses.l2_accesses += 1;
+            self.energy.l2_accesses += 1;
+            self.energy.directory_accesses += 1;
+
+            // Inclusive-hierarchy victim handling (off the critical path:
+            // traffic and directory state only).
+            if let Some(v) = victim {
+                if let Some(targets) = v.invalidate {
+                    match targets {
+                        Some(list) => {
+                            for tgt in list {
+                                self.energy.router_flit_hops +=
+                                    shared.mesh.hops(home, tgt as usize) * ctrl;
+                                self.energy.link_flit_hops +=
+                                    shared.mesh.hops(home, tgt as usize) * ctrl;
+                                shared.inboxes.push(
+                                    tgt as usize,
+                                    CoherenceMsg {
+                                        line: v.line,
+                                        downgrade: false,
+                                    },
+                                );
+                            }
+                        }
+                        None => {
+                            let (sum, _) = shared.mesh.broadcast_hops(home);
+                            self.note_traffic(sum * ctrl);
+                            shared.inboxes.push_broadcast(v.line);
+                        }
+                    }
+                }
+                if v.writeback {
+                    let (c, ccore) = shared.dram.controller_for(v.line);
+                    shared.dram.access(c, t);
+                    self.energy.dram_accesses += 1;
+                    self.note_traffic(shared.mesh.hops(home, ccore) * data);
+                }
+            }
+
+            if was_miss {
+                let (c, ccore) = shared.dram.controller_for(line);
+                let go = shared.mesh.traverse(home, ccore, t, ctrl);
+                self.note_traffic(go.flit_hops);
+                let ready = shared.dram.access(c, go.arrival);
+                self.energy.dram_accesses += 1;
+                let back = shared.mesh.traverse(ccore, home, ready, data);
+                self.note_traffic(back.flit_hops);
+                offchip = back.arrival - t;
+                t = back.arrival;
+                self.misses.l2_misses += 1;
+                entry.dirty = false;
+            }
+
+            if write {
+                // Fetch dirty data from a foreign owner, then invalidate
+                // every other copy; requester becomes the owner.
+                if let Some(o) = entry.owner {
+                    if o != me {
+                        let go = shared.mesh.traverse(home, o as usize, t, ctrl);
+                        self.note_traffic(go.flit_hops);
+                        let back =
+                            shared.mesh.traverse(o as usize, home, go.arrival, data);
+                        self.note_traffic(back.flit_hops);
+                        sharers_time += back.arrival - t;
+                        t = back.arrival;
+                        shared.inboxes.push(
+                            o as usize,
+                            CoherenceMsg {
+                                line,
+                                downgrade: false,
+                            },
+                        );
+                        entry.dirty = true;
+                    }
+                }
+                entry.owner = None;
+                match entry.sharers.invalidation_targets() {
+                    Some(list) => {
+                        let targets: Vec<u16> =
+                            list.iter().copied().filter(|&c| c != me).collect();
+                        if !targets.is_empty() {
+                            let mut done = t;
+                            for tgt in targets {
+                                let go =
+                                    shared.mesh.traverse(home, tgt as usize, t, ctrl);
+                                self.note_traffic(go.flit_hops);
+                                let ack = shared
+                                    .mesh
+                                    .traverse(tgt as usize, home, go.arrival, ctrl);
+                                self.note_traffic(ack.flit_hops);
+                                done = done.max(ack.arrival);
+                                shared.inboxes.push(
+                                    tgt as usize,
+                                    CoherenceMsg {
+                                        line,
+                                        downgrade: false,
+                                    },
+                                );
+                            }
+                            sharers_time += done - t;
+                            t = done;
+                        }
+                    }
+                    None => {
+                        // ACKWise pointer overflow: broadcast invalidation.
+                        let (sum, max_hops) = shared.mesh.broadcast_hops(home);
+                        let rt = 2 * max_hops * cfg.mesh.hop_latency;
+                        self.note_traffic(2 * sum * ctrl);
+                        // Drain our own pending traffic first so the
+                        // broadcast (which includes us) cannot kill the
+                        // line we are about to install.
+                        self.drain_coherence();
+                        shared.inboxes.push_broadcast(line);
+                        self.broadcast_cursor += 1;
+                        sharers_time += rt;
+                        t += rt;
+                    }
+                }
+                entry.sharers.clear();
+                entry.owner = if allocate { Some(me) } else { None };
+                entry.dirty = true;
+            } else {
+                // Read: downgrade a foreign owner, else grant E when sole.
+                if let Some(o) = entry.owner {
+                    if o != me {
+                        let go = shared.mesh.traverse(home, o as usize, t, ctrl);
+                        self.note_traffic(go.flit_hops);
+                        let back =
+                            shared.mesh.traverse(o as usize, home, go.arrival, data);
+                        self.note_traffic(back.flit_hops);
+                        sharers_time += back.arrival - t;
+                        t = back.arrival;
+                        shared.inboxes.push(
+                            o as usize,
+                            CoherenceMsg {
+                                line,
+                                downgrade: true,
+                            },
+                        );
+                        entry.sharers.add(o);
+                        entry.dirty = true;
+                        serializes = true;
+                    }
+                    entry.owner = None;
+                }
+                if allocate {
+                    if entry.sharers.is_empty() && cfg.enable_e_state {
+                        entry.owner = Some(me);
+                        exclusive = true;
+                    } else {
+                        entry.sharers.add(me);
+                    }
+                }
+            }
+            if serializes {
+                entry.queue_busy += t - serve;
+            }
+            reply_depart = t;
+        }
+
+        // Upgrades and remote (word-granularity) accesses reply without
+        // the full line.
+        let reply_flits = if upgrade || !allocate { ctrl } else { data };
+        let reply = shared
+            .mesh
+            .traverse(home, self.core, reply_depart, reply_flits);
+        self.note_traffic(reply.flit_hops);
+
+        let l2_lat = cfg.l2.latency;
+        MissTiming {
+            completion: reply.arrival,
+            comps: Breakdown {
+                compute: 0,
+                l1_to_l2home: (req.arrival - issue) + l2_lat + (reply.arrival - reply_depart),
+                l2home_waiting: waiting,
+                l2home_sharers: sharers_time,
+                l2home_offchip: offchip,
+                synchronization: 0,
+            },
+            exclusive,
+        }
+    }
+
+    /// Write back a dirty L1 victim to its home (off the critical path:
+    /// traffic, DRAM pressure, and directory state; no requester stall).
+    fn writeback_victim(&mut self, vline: u64) {
+        let shared = Arc::clone(&self.shared);
+        let home = home_of(vline, shared.config.num_cores);
+        let data = shared.config.data_flits();
+        self.note_traffic(shared.mesh.hops(self.core, home) * data);
+        let me = self.core as u16;
+        let mut slice = shared.shards[home].lock();
+        self.energy.l2_accesses += 1;
+        if let Some(entry) = slice.lookup_resident(vline) {
+            entry.dirty = true;
+            if entry.owner == Some(me) {
+                entry.owner = None;
+            } else {
+                entry.sharers.remove(me);
+            }
+        }
+    }
+}
+
+impl ThreadCtx for SimCtx {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn num_threads(&self) -> usize {
+        self.shared.core_map.len()
+    }
+
+    fn load(&mut self, addr: Addr) {
+        self.mem_op(addr, false, false);
+    }
+
+    fn store(&mut self, addr: Addr) {
+        self.mem_op(addr, true, false);
+    }
+
+    fn rmw(&mut self, addr: Addr) {
+        self.mem_op(addr, true, true);
+    }
+
+    fn compute(&mut self, cycles: u32) {
+        self.instructions += cycles as u64;
+        self.clock += cycles as u64;
+        self.breakdown.compute += cycles as u64;
+    }
+
+    fn lock(&mut self, set: &LockSet, idx: usize) {
+        self.drain_window();
+        // The lock word itself ping-pongs between contenders — model the
+        // coherence traffic of the atomic acquire.
+        self.mem_op(set.addr(idx), true, true);
+        let contended = set.acquire_raw(idx);
+        let mut wait = 0;
+        // Align to the previous holder's release only when the
+        // acquisition truly contended (the holder ran concurrently);
+        // otherwise a wall-serialized predecessor's clock would leak in.
+        if contended {
+            let released_at = set.release_clock(idx);
+            if released_at > self.clock {
+                wait += released_at - self.clock;
+            }
+        }
+        // Plus the hold time *other* threads booked on this lock in our
+        // accounting epoch (skew-tolerant contention; see `noc` docs).
+        let epoch = self.clock / crono_runtime::LOCK_EPOCH_CYCLES;
+        let mine = match self.my_bookings.get(&set.addr(idx).raw()) {
+            Some(&(e, cycles)) if e == epoch => cycles,
+            _ => 0,
+        };
+        wait += set.booked_hold(idx, epoch).saturating_sub(mine).min(HOME_WAIT_CAP);
+        let overhead = self.shared.config.lock_overhead;
+        self.breakdown.synchronization += wait + overhead;
+        self.clock += wait + overhead;
+        self.held_since.insert(set.addr(idx).raw(), self.clock);
+    }
+
+    fn unlock(&mut self, set: &LockSet, idx: usize) {
+        self.drain_window();
+        self.mem_op(set.addr(idx), true, true);
+        if let Some(acquired_at) = self.held_since.remove(&set.addr(idx).raw()) {
+            let hold = self.clock.saturating_sub(acquired_at) + self.shared.config.lock_overhead;
+            let epoch = acquired_at / crono_runtime::LOCK_EPOCH_CYCLES;
+            set.book_hold(idx, epoch, hold);
+            let mine = self.my_bookings.entry(set.addr(idx).raw()).or_insert((epoch, 0));
+            if mine.0 == epoch {
+                mine.1 += hold;
+            } else {
+                *mine = (epoch, hold);
+            }
+        }
+        set.set_release_clock(idx, self.clock);
+        set.release_raw(idx);
+    }
+
+    fn barrier(&mut self) {
+        self.drain_window();
+        self.instructions += 1;
+        let arrive = self.clock;
+        let g = self.generation as usize;
+        // Rotating slots: zeroing (g+2)%4 is safe — its last readers
+        // finished before anyone could reach barrier g, and its next
+        // writers cannot arrive until barrier g+1 has fully passed.
+        self.shared.barrier_slots[(g + 2) % 4].store(0, Ordering::Release);
+        self.shared.barrier_slots[g % 4].fetch_max(arrive, Ordering::AcqRel);
+        self.shared.barrier.wait();
+        let max_clock = self.shared.barrier_slots[g % 4].load(Ordering::Acquire);
+        self.generation += 1;
+        let overhead = self.shared.config.barrier_overhead;
+        debug_assert!(max_clock >= arrive);
+        self.breakdown.synchronization += (max_clock - arrive) + overhead;
+        self.clock = max_clock + overhead;
+    }
+
+    fn record_active(&mut self, active: u64) {
+        self.active_samples.push((self.clock, active));
+    }
+
+    fn instructions(&self) -> u64 {
+        self.instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crono_runtime::{alloc_region, SharedU32s, SharedU64s};
+
+    fn machine(threads: usize) -> SimMachine {
+        SimMachine::new(SimConfig::tiny(16), threads)
+    }
+
+    #[test]
+    fn single_thread_compute_only() {
+        let m = machine(1);
+        let outcome = m.run(|ctx| {
+            ctx.compute(100);
+        });
+        let b = outcome.report.breakdown();
+        assert_eq!(b.compute, 100);
+        assert_eq!(outcome.report.completion, 100);
+        assert_eq!(b.l1_to_l2home, 0);
+    }
+
+    #[test]
+    fn cold_miss_goes_off_chip() {
+        let m = machine(1);
+        let region = alloc_region(64);
+        let outcome = m.run(|ctx| {
+            ctx.load(region.addr(0, 4));
+        });
+        let r = &outcome.report;
+        assert_eq!(r.misses.cold_misses, 1);
+        assert_eq!(r.misses.l2_misses, 1);
+        let b = r.breakdown();
+        assert!(b.l2home_offchip >= 100, "DRAM latency visible: {b:?}");
+        assert!(b.l1_to_l2home > 0);
+        assert_eq!(r.energy.dram_accesses, 1);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let m = machine(1);
+        let region = alloc_region(64);
+        let outcome = m.run(|ctx| {
+            ctx.load(region.addr(0, 4));
+            let after_miss = ctx.clock();
+            ctx.load(region.addr(1, 4)); // same line
+            (after_miss, ctx.clock())
+        });
+        let (t1, t2) = outcome.per_thread[0];
+        assert_eq!(t2 - t1, 1, "L1 hit costs exactly the L1 latency");
+        assert_eq!(outcome.report.misses.l1d_misses(), 1);
+        assert_eq!(outcome.report.misses.l1d_accesses, 2);
+    }
+
+    #[test]
+    fn write_sharing_produces_sharing_misses_and_invalidations() {
+        let m = machine(4);
+        let arr = SharedU32s::new(1);
+        // Barriers force the host threads to interleave physically, so the
+        // lazily-delivered invalidations are observed (a long-running
+        // benchmark interleaves naturally).
+        let outcome = m.run(|ctx| {
+            for _ in 0..8 {
+                arr.fetch_add(ctx, 0, 1);
+                ctx.barrier();
+            }
+        });
+        assert_eq!(arr.get_plain(0), 32);
+        let r = &outcome.report;
+        assert!(
+            r.misses.sharing_misses > 0,
+            "ping-ponging line must show sharing misses: {:?}",
+            r.misses
+        );
+        let b = r.breakdown();
+        assert!(b.l2home_sharers > 0 || b.l2home_waiting > 0);
+    }
+
+    #[test]
+    fn read_only_sharing_has_no_invalidations() {
+        let m = machine(4);
+        let arr = SharedU32s::new(16);
+        let outcome = m.run(|ctx| {
+            let mut sum = 0u32;
+            for i in 0..16 {
+                sum = sum.wrapping_add(arr.get(ctx, i));
+            }
+            sum
+        });
+        let r = &outcome.report;
+        assert_eq!(
+            r.misses.sharing_misses, 0,
+            "pure readers never invalidate each other: {:?}",
+            r.misses
+        );
+    }
+
+    #[test]
+    fn locks_serialize_simulated_time() {
+        let m = machine(4);
+        let locks = LockSet::new(1);
+        let shared = SharedU64s::new(1);
+        let outcome = m.run(|ctx| {
+            ctx.lock(&locks, 0);
+            let v = shared.get(ctx, 0);
+            ctx.compute(50);
+            shared.set(ctx, 0, v + 1);
+            ctx.unlock(&locks, 0);
+        });
+        assert_eq!(shared.get_plain(0), 4);
+        // Four critical sections of >= 50 cycles must serialize.
+        assert!(
+            outcome.report.completion >= 200,
+            "completion {} must cover 4 serialized critical sections",
+            outcome.report.completion
+        );
+        let b = outcome.report.breakdown();
+        assert!(b.synchronization > 0, "waiters accumulate sync time");
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let m = machine(4);
+        let outcome = m.run(|ctx| {
+            ctx.compute(10 * (1 + ctx.thread_id() as u32));
+            ctx.barrier();
+            ctx.clock()
+        });
+        let clocks = outcome.per_thread;
+        let first = clocks[0];
+        assert!(clocks.iter().all(|&c| c == first), "clocks equal: {clocks:?}");
+        assert!(first >= 40, "slowest thread dictates: {first}");
+        let sync: u64 = outcome
+            .report
+            .threads
+            .iter()
+            .map(|t| t.breakdown.synchronization)
+            .sum();
+        assert!(sync > 0);
+    }
+
+    #[test]
+    fn repeated_barriers_are_consistent() {
+        let m = machine(3);
+        let outcome = m.run(|ctx| {
+            let mut clocks = Vec::new();
+            for round in 0..10 {
+                ctx.compute(((ctx.thread_id() + round) % 3) as u32 * 7 + 1);
+                ctx.barrier();
+                clocks.push(ctx.clock());
+            }
+            clocks
+        });
+        for round in 0..10 {
+            let c0 = outcome.per_thread[0][round];
+            assert!(
+                outcome.per_thread.iter().all(|c| c[round] == c0),
+                "round {round}: clocks diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn ooo_hides_load_latency() {
+        let region = alloc_region(64 * 64);
+        let run = |config: SimConfig| {
+            let m = SimMachine::new(config, 1);
+            m.run(|ctx| {
+                for i in 0..32 {
+                    ctx.load(region.addr(i * 16, 4)); // distinct lines
+                }
+            })
+            .report
+            .completion
+        };
+        let inorder = run(SimConfig::tiny(16));
+        let ooo = run(SimConfig {
+            core: crate::config::CoreModel::paper_ooo(),
+            ..SimConfig::tiny(16)
+        });
+        assert!(
+            ooo < inorder / 2,
+            "OOO must overlap independent misses: ooo={ooo} inorder={inorder}"
+        );
+    }
+
+    #[test]
+    fn rmw_serializes_even_on_ooo() {
+        let region = alloc_region(64 * 64);
+        let m = SimMachine::new(
+            SimConfig {
+                core: crate::config::CoreModel::paper_ooo(),
+                ..SimConfig::tiny(16)
+            },
+            1,
+        );
+        let arr = SharedU32s::new(16 * 16);
+        let outcome = m.run(|ctx| {
+            for i in 0..16 {
+                arr.fetch_add(ctx, i * 16, 1);
+            }
+            ctx.load(region.addr(0, 4));
+        });
+        // Each RMW pays its full off-chip latency: >= 16 * 100 cycles.
+        assert!(
+            outcome.report.completion >= 1600,
+            "got {}",
+            outcome.report.completion
+        );
+    }
+
+    #[test]
+    fn energy_counters_accumulate() {
+        let m = machine(2);
+        let arr = SharedU32s::new(64);
+        let outcome = m.run(|ctx| {
+            for i in 0..64 {
+                arr.set(ctx, i, 1);
+            }
+        });
+        let e = &outcome.report.energy;
+        assert!(e.l1d_accesses >= 128);
+        assert!(e.l2_accesses > 0);
+        assert!(e.router_flit_hops > 0);
+        assert!(e.dram_accesses > 0);
+        assert!(e.l1i_accesses >= e.l1d_accesses);
+    }
+
+    #[test]
+    fn capacity_misses_on_thrashing_working_set() {
+        // tiny L1 = 1 KB (16 lines); stream over 64 lines twice.
+        let m = machine(1);
+        let region = alloc_region(64 * 64);
+        let outcome = m.run(|ctx| {
+            for _ in 0..2 {
+                for i in 0..64 {
+                    ctx.load(region.addr(i * 16, 4));
+                }
+            }
+        });
+        let mi = &outcome.report.misses;
+        assert_eq!(mi.cold_misses, 64);
+        assert!(mi.capacity_misses >= 48, "thrash: {mi:?}");
+        assert_eq!(mi.sharing_misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run")]
+    fn too_many_threads_rejected() {
+        SimMachine::new(SimConfig::tiny(4), 8);
+    }
+
+    #[test]
+    fn threads_spread_over_mesh() {
+        let m = SimMachine::new(SimConfig::tiny(16), 4);
+        let outcome = m.run(|ctx| ctx.core());
+        assert_eq!(outcome.per_thread, vec![0, 4, 8, 12]);
+    }
+}

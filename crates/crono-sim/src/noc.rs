@@ -1,0 +1,337 @@
+//! The on-chip interconnect: an electrical 2-D mesh with XY dimension-
+//! ordered routing, per Table II. Hop latency covers one router plus one
+//! link; contention is modeled on links only ("infinite input buffers").
+//!
+//! Because simulated thread clocks advance independently (Graphite's lax
+//! synchronization), contention cannot be modeled with absolute
+//! reservations — a thread simulated far ahead would poison every link
+//! for threads behind it. Instead each link tracks flit counts in
+//! fixed-size *epochs* of simulated time: a message pays queueing delay
+//! only when its own epoch's utilization exceeds the link's capacity
+//! (1 flit/cycle), which is skew-tolerant and converges to the same
+//! utilization-driven delays.
+
+use crate::config::{MeshConfig, RoutingPolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated cycles per contention-accounting epoch.
+pub const EPOCH_CYCLES: u64 = 128;
+/// Ring slots per link (tolerates `EPOCH_CYCLES × EPOCH_SLOTS` cycles of
+/// clock skew between threads).
+pub const EPOCH_SLOTS: usize = 64;
+/// Queueing delay cap per hop (bounds pathological overload).
+const MAX_HOP_DELAY: u64 = 8 * EPOCH_CYCLES;
+
+/// Timing and traffic for one message traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traversal {
+    /// Cycle at which the tail flit arrives at the destination.
+    pub arrival: u64,
+    /// Flit-hops consumed (flits × hops), for router/link energy.
+    pub flit_hops: u64,
+}
+
+/// The mesh interconnect. Link utilization counters are atomics, so any
+/// simulated core can route messages concurrently.
+#[derive(Debug)]
+pub struct Mesh {
+    cols: usize,
+    rows: usize,
+    config: MeshConfig,
+    /// `slots[(dir * cores + core) * EPOCH_SLOTS + (epoch % EPOCH_SLOTS)]`
+    /// packs `(epoch_tag << 32) | flit_count` for the outgoing link of
+    /// `core` in direction `dir`. Directions: 0=east, 1=west, 2=south,
+    /// 3=north.
+    slots: Vec<AtomicU64>,
+    /// Per-core totals over all destinations, for analytic broadcast
+    /// timing/traffic: `(sum of hops, max hops)`.
+    hop_totals: Vec<(u64, u64)>,
+    /// Message sequence counter (entropy for O1TURN route selection).
+    msg_seq: AtomicU64,
+}
+
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+
+fn pack(epoch: u64, count: u64) -> u64 {
+    ((epoch & 0xFFFF_FFFF) << 32) | (count & 0xFFFF_FFFF)
+}
+
+fn unpack(v: u64) -> (u64, u64) {
+    (v >> 32, v & 0xFFFF_FFFF)
+}
+
+impl Mesh {
+    /// Builds a mesh for `num_cores` cores, as square as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores == 0`.
+    pub fn new(num_cores: usize, config: MeshConfig) -> Self {
+        assert!(num_cores > 0, "mesh needs at least one core");
+        let cols = (num_cores as f64).sqrt().ceil() as usize;
+        let rows = num_cores.div_ceil(cols);
+        let slots = (0..4 * cols * rows * EPOCH_SLOTS)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let mut mesh = Mesh {
+            cols,
+            rows,
+            config,
+            slots,
+            hop_totals: Vec::new(),
+            msg_seq: AtomicU64::new(0),
+        };
+        mesh.hop_totals = (0..num_cores)
+            .map(|from| {
+                let mut sum = 0;
+                let mut max = 0;
+                for to in 0..num_cores {
+                    let h = mesh.hops(from, to);
+                    sum += h;
+                    max = max.max(h);
+                }
+                (sum, max)
+            })
+            .collect();
+        mesh
+    }
+
+    /// Mesh coordinates of `core`.
+    pub fn position(&self, core: usize) -> (usize, usize) {
+        (core / self.cols, core % self.cols)
+    }
+
+    /// Manhattan hop count between two cores.
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (fr, fc) = self.position(from);
+        let (tr, tc) = self.position(to);
+        (fr.abs_diff(tr) + fc.abs_diff(tc)) as u64
+    }
+
+    /// Mesh dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `(sum, max)` of hop distances from `core` to every core — the
+    /// analytic cost of an ACKWise broadcast originating there.
+    pub fn broadcast_hops(&self, core: usize) -> (u64, u64) {
+        self.hop_totals[core]
+    }
+
+    /// Routes a `flits`-flit message from `from` to `to`, departing at
+    /// cycle `depart`. XY routing: all column (east/west) hops first, then
+    /// row (south/north) hops. Each hop charges the link's epoch
+    /// utilization; the tail adds `flits − 1` serialization cycles at the
+    /// destination.
+    pub fn traverse(&self, from: usize, to: usize, depart: u64, flits: u64) -> Traversal {
+        if from == to {
+            return Traversal {
+                arrival: depart,
+                flit_hops: 0,
+            };
+        }
+        let (fr, fc) = self.position(from);
+        let (tr, tc) = self.position(to);
+        // O1TURN: route half the messages Y-first (per-message sequence
+        // number as entropy, so back-to-back messages alternate paths).
+        let y_first = match self.config.routing {
+            RoutingPolicy::XyDimensionOrder => false,
+            RoutingPolicy::O1Turn => self.msg_seq.fetch_add(1, Ordering::Relaxed) & 1 != 0,
+        };
+        let mut t = depart;
+        let mut hops = 0u64;
+        let (mut r, mut c) = (fr, fc);
+        let route_cols = |t: &mut u64, r: usize, c: &mut usize, hops: &mut u64| {
+            while *c != tc {
+                let dir = if *c < tc { EAST } else { WEST };
+                *t = self.hop(r * self.cols + *c, dir, *t, flits);
+                *c = if *c < tc { *c + 1 } else { *c - 1 };
+                *hops += 1;
+            }
+        };
+        let route_rows = |t: &mut u64, r: &mut usize, c: usize, hops: &mut u64| {
+            while *r != tr {
+                let dir = if *r < tr { SOUTH } else { NORTH };
+                *t = self.hop(*r * self.cols + c, dir, *t, flits);
+                *r = if *r < tr { *r + 1 } else { *r - 1 };
+                *hops += 1;
+            }
+        };
+        if y_first {
+            route_rows(&mut t, &mut r, c, &mut hops);
+            route_cols(&mut t, r, &mut c, &mut hops);
+        } else {
+            route_cols(&mut t, r, &mut c, &mut hops);
+            route_rows(&mut t, &mut r, c, &mut hops);
+        }
+        Traversal {
+            arrival: t + (flits - 1),
+            flit_hops: hops * flits,
+        }
+    }
+
+    /// Uncontended latency for a `flits`-flit message over `hops` hops.
+    pub fn ideal_latency(&self, hops: u64, flits: u64) -> u64 {
+        if hops == 0 {
+            0
+        } else {
+            hops * self.config.hop_latency + (flits - 1)
+        }
+    }
+
+    fn hop(&self, core: usize, dir: usize, t: u64, flits: u64) -> u64 {
+        let delay = if self.config.link_contention {
+            let epoch = t / EPOCH_CYCLES;
+            let base = (dir * self.cols * self.rows + core) * EPOCH_SLOTS;
+            let cell = &self.slots[base + (epoch as usize % EPOCH_SLOTS)];
+            let mut cur = cell.load(Ordering::Relaxed);
+            let occupied = loop {
+                let (tag, count) = unpack(cur);
+                let this_tag = epoch & 0xFFFF_FFFF;
+                let (new, occupied) = if tag == this_tag {
+                    (pack(this_tag, count + flits), count)
+                } else {
+                    // The slot belonged to a different (older or very
+                    // future) epoch: claim it for ours.
+                    (pack(this_tag, flits), 0)
+                };
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => break occupied,
+                    Err(actual) => cur = actual,
+                }
+            };
+            // Link capacity is 1 flit/cycle: overload in this epoch queues.
+            (occupied + flits).saturating_sub(EPOCH_CYCLES).min(MAX_HOP_DELAY)
+        } else {
+            0
+        };
+        t + self.config.hop_latency + delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(n: usize, contention: bool) -> Mesh {
+        Mesh::new(
+            n,
+            MeshConfig {
+                hop_latency: 2,
+                flit_bits: 64,
+                link_contention: contention,
+                routing: RoutingPolicy::XyDimensionOrder,
+            },
+        )
+    }
+
+    #[test]
+    fn square_dimensions() {
+        assert_eq!(mesh(256, true).dims(), (16, 16));
+        assert_eq!(mesh(16, true).dims(), (4, 4));
+        assert_eq!(mesh(5, true).dims(), (2, 3));
+    }
+
+    #[test]
+    fn local_delivery_is_free() {
+        let m = mesh(16, true);
+        let t = m.traverse(3, 3, 100, 9);
+        assert_eq!(t.arrival, 100);
+        assert_eq!(t.flit_hops, 0);
+    }
+
+    #[test]
+    fn uncontended_latency_matches_ideal() {
+        let m = mesh(16, true);
+        // core 0 = (0,0), core 15 = (3,3): 6 hops.
+        let t = m.traverse(0, 15, 0, 1);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(t.arrival, m.ideal_latency(6, 1));
+        assert_eq!(t.flit_hops, 6);
+
+        // 9-flit data message: serialization adds flits-1.
+        let t = m.traverse(0, 15, 0, 9);
+        assert_eq!(t.arrival, 6 * 2 + 8);
+    }
+
+    #[test]
+    fn light_load_sees_no_contention() {
+        let m = mesh(16, true);
+        let a = m.traverse(0, 1, 0, 9);
+        let b = m.traverse(0, 1, 0, 9);
+        assert_eq!(a.arrival, b.arrival, "two messages fit one epoch");
+    }
+
+    #[test]
+    fn saturating_an_epoch_queues_messages() {
+        let m = mesh(16, true);
+        let ideal = m.traverse(4, 5, 100_000, 9).arrival; // warm a far epoch
+        let mut last = 0;
+        for _ in 0..40 {
+            last = m.traverse(0, 1, 0, 9).arrival;
+        }
+        // 40 × 9 = 360 flits into a 128-cycle epoch: the tail queues.
+        assert!(
+            last > ideal - 100_000 + 100,
+            "saturated link must delay: last={last}"
+        );
+    }
+
+    #[test]
+    fn contention_is_per_epoch() {
+        let m = mesh(16, true);
+        for _ in 0..40 {
+            m.traverse(0, 1, 0, 9);
+        }
+        // A message in a different epoch is unaffected.
+        let far = m.traverse(0, 1, 10 * EPOCH_CYCLES, 9);
+        assert_eq!(far.arrival, 10 * EPOCH_CYCLES + 2 + 8);
+    }
+
+    #[test]
+    fn skewed_clocks_do_not_poison_links() {
+        let m = mesh(16, true);
+        // A thread far ahead in simulated time hammers the link...
+        for _ in 0..100 {
+            m.traverse(0, 1, 1_000_000, 9);
+        }
+        // ...but a thread at an earlier simulated time is unaffected.
+        let early = m.traverse(0, 1, 0, 9);
+        assert_eq!(early.arrival, 2 + 8);
+    }
+
+    #[test]
+    fn no_contention_mode_ignores_load() {
+        let m = mesh(16, false);
+        for _ in 0..100 {
+            m.traverse(0, 1, 0, 9);
+        }
+        assert_eq!(m.traverse(0, 1, 0, 9).arrival, 2 + 8);
+    }
+
+    #[test]
+    fn xy_routing_is_deterministic_distance() {
+        let m = mesh(64, false);
+        for from in [0usize, 9, 17, 63] {
+            for to in [0usize, 7, 56, 63] {
+                let t = m.traverse(from, to, 0, 1);
+                assert_eq!(t.flit_hops, m.hops(from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn delay_is_capped() {
+        let m = mesh(16, true);
+        for _ in 0..10_000 {
+            m.traverse(0, 1, 0, 9);
+        }
+        let worst = m.traverse(0, 1, 0, 9);
+        assert!(worst.arrival <= 2 + 8 + MAX_HOP_DELAY);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the simulator's building blocks.
+
+use crono_sim::{
+    home_of, CacheConfig, L1Cache, L1Lookup, L1State, Mesh, MeshConfig, RoutingPolicy,
+    SetAssocCache, SharerSet,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn mesh_cfg(contention: bool, routing: RoutingPolicy) -> MeshConfig {
+    MeshConfig {
+        hop_latency: 2,
+        flit_bits: 64,
+        link_contention: contention,
+        routing,
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_never_exceeds_capacity(
+        lines in proptest::collection::vec(0u64..1000, 1..200),
+        sets in 1usize..8,
+        assoc in 1usize..4,
+    ) {
+        let mut cache = SetAssocCache::new(sets, assoc);
+        let mut resident: HashSet<u64> = HashSet::new();
+        for line in lines {
+            if cache.peek(line).is_none() {
+                if let Some((evicted, ())) = cache.insert(line, ()) {
+                    prop_assert!(resident.remove(&evicted));
+                }
+                resident.insert(line);
+            }
+            prop_assert!(cache.len() <= sets * assoc);
+            prop_assert_eq!(cache.len(), resident.len());
+        }
+    }
+
+    #[test]
+    fn cache_lookup_after_insert_hits_until_eviction(
+        lines in proptest::collection::vec(0u64..64, 1..100),
+    ) {
+        let mut cache = SetAssocCache::new(4, 2);
+        for line in lines {
+            if cache.lookup(line).is_none() {
+                cache.insert(line, line * 10);
+            }
+            prop_assert_eq!(cache.peek(line), Some(&(line * 10)));
+        }
+    }
+
+    #[test]
+    fn sharer_count_is_consistent(ops in proptest::collection::vec((0u16..32, prop::bool::ANY), 1..100)) {
+        let mut s = SharerSet::new(4);
+        let mut reference: HashSet<u16> = HashSet::new();
+        let mut overflowed = false;
+        for (core, add) in ops {
+            if add {
+                // The protocol never re-adds a core that holds the line.
+                if !reference.contains(&core) {
+                    s.add(core);
+                    reference.insert(core);
+                }
+            } else if reference.remove(&core) {
+                s.remove(core);
+            }
+            if s.is_broadcast() {
+                overflowed = true;
+            }
+            if !overflowed {
+                prop_assert_eq!(s.count(), reference.len() as u32);
+            }
+            // Precise mode never under-reports a real sharer.
+            if !s.is_broadcast() {
+                for &c in &reference {
+                    prop_assert!(s.may_contain(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_traversal_is_minimal_and_monotonic(
+        from in 0usize..64, to in 0usize..64, depart in 0u64..10_000, flits in 1u64..10,
+    ) {
+        let mesh = Mesh::new(64, mesh_cfg(false, RoutingPolicy::XyDimensionOrder));
+        let t = mesh.traverse(from, to, depart, flits);
+        prop_assert_eq!(t.flit_hops, mesh.hops(from, to) * flits);
+        prop_assert!(t.arrival >= depart);
+        prop_assert_eq!(t.arrival, depart + mesh.ideal_latency(mesh.hops(from, to), flits));
+    }
+
+    #[test]
+    fn o1turn_routes_are_also_minimal(
+        from in 0usize..64, to in 0usize..64, depart in 0u64..10_000,
+    ) {
+        let mesh = Mesh::new(64, mesh_cfg(false, RoutingPolicy::O1Turn));
+        let t = mesh.traverse(from, to, depart, 1);
+        prop_assert_eq!(t.flit_hops, mesh.hops(from, to));
+    }
+
+    #[test]
+    fn contention_only_adds_delay(
+        msgs in proptest::collection::vec((0usize..16, 0usize..16, 0u64..2_000), 1..50),
+    ) {
+        let contended = Mesh::new(16, mesh_cfg(true, RoutingPolicy::XyDimensionOrder));
+        let ideal = Mesh::new(16, mesh_cfg(false, RoutingPolicy::XyDimensionOrder));
+        for (from, to, depart) in msgs {
+            let a = contended.traverse(from, to, depart, 9);
+            let b = ideal.traverse(from, to, depart, 9);
+            prop_assert!(a.arrival >= b.arrival);
+            prop_assert_eq!(a.flit_hops, b.flit_hops);
+        }
+    }
+
+    #[test]
+    fn home_mapping_is_stable_and_in_range(line in 0u64..1_000_000, cores in 1usize..512) {
+        let h = home_of(line, cores);
+        prop_assert!(h < cores);
+        prop_assert_eq!(h, home_of(line, cores));
+    }
+
+    #[test]
+    fn l1_miss_classification_is_total(
+        accesses in proptest::collection::vec((0u64..32, prop::bool::ANY), 1..200),
+    ) {
+        let mut l1 = L1Cache::with_geometry(
+            &CacheConfig { size_bytes: 512, associativity: 2, latency: 1 },
+            64,
+        );
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (line, write) in accesses {
+            match l1.access(line, write) {
+                L1Lookup::Hit => {}
+                lookup => {
+                    let upgrade = lookup == L1Lookup::UpgradeMiss;
+                    let class = l1.classify_miss(line, upgrade);
+                    if !seen.contains(&line) {
+                        prop_assert_eq!(class, crono_sim::MissClass::Cold);
+                    }
+                    if upgrade {
+                        l1.promote(line);
+                    } else {
+                        let state = if write { L1State::Modified } else { L1State::Shared };
+                        l1.fill(line, state);
+                    }
+                    seen.insert(line);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The `crono` CLI: regenerates the paper's tables and figures.
+
+use crono_energy::EnergyModel;
+use crono_sim::SimConfig;
+use crono_suite::experiments::{fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables};
+use crono_suite::runner::Sweep;
+use crono_suite::{Scale, Table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+crono — regenerate the CRONO (IISWC 2015) tables and figures
+
+USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
+             [--out DIR] [--quiet]
+
+COMMANDS:
+  table1   Benchmarks and parallelizations
+  table2   Graphite architectural parameters
+  table3   Input graphs
+  table4   Best speedups across graph types
+  fig1     Completion-time breakdowns vs thread count (+ variability)
+  fig2     Active vertices over normalized time
+  fig3     L1 miss-rate breakdown (cold/capacity/sharing)
+  fig4     Cache-hierarchy miss rates
+  fig5     Vertex-scalability study
+  fig6     Normalized dynamic energy breakdowns
+  fig7     OOO completion-time breakdowns
+  fig8     OOO speedups
+  fig9     Real-machine speedups (native threads)
+  compare  Paper-vs-measured best speedups + qualitative claims
+  all      Everything above (shares simulator sweeps)
+";
+
+struct Options {
+    command: String,
+    scale: Scale,
+    out: Option<PathBuf>,
+    progress: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| USAGE.to_string())?;
+    let mut scale = Scale::small();
+    let mut out = None;
+    let mut progress = true;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let name = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::by_name(&name)
+                    .ok_or_else(|| format!("unknown scale {name:?} (test|small|paper)"))?;
+            }
+            "--paper-scale" => scale = Scale::paper(),
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--quiet" => progress = false,
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        command,
+        scale,
+        out,
+        progress,
+    })
+}
+
+fn emit(tables: &[Table], out: &Option<PathBuf>) {
+    for t in tables {
+        println!("{}", t.render());
+        if let Some(dir) = out {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            let path = dir.join(format!("{}.tsv", t.file_stem()));
+            std::fs::write(&path, t.to_tsv()).expect("write tsv");
+            eprintln!("[out] wrote {}", path.display());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = SimConfig::default();
+    let ooo = SimConfig::paper_ooo();
+    let energy = EnergyModel::default();
+    let needs_sweep = ["fig1", "fig2", "fig3", "fig4", "fig6", "compare", "all"];
+    let sweep = needs_sweep
+        .contains(&opts.command.as_str())
+        .then(|| Sweep::run(&opts.scale, &config, opts.progress));
+    let needs_ooo = ["fig7", "fig8", "all"];
+    let ooo_sweep = needs_ooo
+        .contains(&opts.command.as_str())
+        .then(|| Sweep::run(&opts.scale, &ooo, opts.progress));
+
+    let mut tables: Vec<Table> = Vec::new();
+    let push_cmd = |name: &str, tables: &mut Vec<Table>| match name {
+        "table1" => tables.push(tables::table1()),
+        "table2" => tables.push(tables::table2(&config)),
+        "table3" => tables.push(tables::table3()),
+        "table4" => tables.push(table4::generate(&opts.scale, &config, opts.progress)),
+        "fig1" => {
+            let s = sweep.as_ref().expect("sweep ran");
+            tables.push(fig1::generate(s));
+            tables.push(fig1::best_speedups(s));
+        }
+        "fig2" => tables.push(fig2::generate(sweep.as_ref().expect("sweep ran"))),
+        "fig3" => tables.push(fig34::fig3(sweep.as_ref().expect("sweep ran"))),
+        "fig4" => tables.push(fig34::fig4(sweep.as_ref().expect("sweep ran"))),
+        "fig5" => tables.extend(fig5::generate(&opts.scale, &config, opts.progress)),
+        "fig6" => tables.push(fig6::generate(sweep.as_ref().expect("sweep ran"), &energy)),
+        "fig7" => tables.push(fig78::fig7(ooo_sweep.as_ref().expect("ooo sweep ran"))),
+        "fig8" => tables.push(fig78::fig8(ooo_sweep.as_ref().expect("ooo sweep ran"))),
+        "fig9" => tables.push(fig9::generate(&opts.scale, 3, opts.progress)),
+        "compare" => {
+            tables.extend(crono_suite::paper::compare(sweep.as_ref().expect("sweep ran")))
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if opts.command == "all" {
+        for name in [
+            "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "table4",
+            "fig6", "fig7", "fig8", "fig9", "compare",
+        ] {
+            // Emit incrementally so partial results survive interruption.
+            let mut batch = Vec::new();
+            push_cmd(name, &mut batch);
+            emit(&batch, &opts.out);
+            tables.extend(batch);
+        }
+    } else {
+        push_cmd(&opts.command, &mut tables);
+        emit(&tables, &opts.out);
+    }
+    ExitCode::SUCCESS
+}

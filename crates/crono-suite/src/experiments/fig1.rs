@@ -1,0 +1,65 @@
+//! Fig. 1: normalized completion-time breakdowns vs thread count, with
+//! the load-imbalance (variability) secondary axis and the best-thread-
+//! count speedup annotation.
+
+use crate::report::{f2, pct, Table};
+use crate::runner::Sweep;
+
+/// One table covering every benchmark: one row per
+/// `(benchmark, thread count)` with the six normalized components,
+/// variability, and speedup over the sequential reference.
+pub fn generate(sweep: &Sweep) -> Table {
+    let mut t = Table::new(
+        "Fig. 1: Normalized completion time breakdowns",
+        vec![
+            "Benchmark",
+            "Threads",
+            "Compute%",
+            "L1Cache-L2Home%",
+            "L2Home-Waiting%",
+            "L2Home-Sharers%",
+            "L2Home-OffChip%",
+            "Synchronization%",
+            "Variability",
+            "Speedup",
+        ],
+    );
+    for bench in sweep.benchmarks() {
+        for threads in sweep.thread_counts() {
+            let report = &sweep.parallel[&(bench, threads)];
+            let b = report.breakdown();
+            let total = b.total().max(1) as f64;
+            t.push_row(vec![
+                bench.label().to_string(),
+                threads.to_string(),
+                pct(b.compute as f64 / total),
+                pct(b.l1_to_l2home as f64 / total),
+                pct(b.l2home_waiting as f64 / total),
+                pct(b.l2home_sharers as f64 / total),
+                pct(b.l2home_offchip as f64 / total),
+                pct(b.synchronization as f64 / total),
+                f2(report.variability()),
+                f2(sweep.speedup(bench, threads)),
+            ]);
+        }
+    }
+    t
+}
+
+/// The per-benchmark best-speedup summary printed above each Fig. 1
+/// panel.
+pub fn best_speedups(sweep: &Sweep) -> Table {
+    let mut t = Table::new(
+        "Fig. 1 (annotations): best speedups",
+        vec!["Benchmark", "Best threads", "Speedup"],
+    );
+    for bench in sweep.benchmarks() {
+        let (threads, speedup) = sweep.best(bench);
+        t.push_row(vec![
+            bench.label().to_string(),
+            threads.to_string(),
+            f2(speedup),
+        ]);
+    }
+    t
+}

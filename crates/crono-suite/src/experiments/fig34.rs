@@ -1,0 +1,53 @@
+//! Fig. 3 (private L1 miss-rate breakdown: cold / capacity / sharing)
+//! and Fig. 4 (cache-hierarchy miss rate), both "at thread counts that
+//! give the highest speedup".
+
+use crate::report::{f2, Table};
+use crate::runner::Sweep;
+
+/// Fig. 3: L1-D miss rates split by class, in percent of L1-D accesses.
+pub fn fig3(sweep: &Sweep) -> Table {
+    let mut t = Table::new(
+        "Fig. 3: Private L1 cache miss rates at best thread count",
+        vec![
+            "Benchmark",
+            "Threads",
+            "Cold%",
+            "Capacity%",
+            "Sharing%",
+            "Total%",
+        ],
+    );
+    for bench in sweep.benchmarks() {
+        let (threads, _) = sweep.best(bench);
+        let m = &sweep.parallel[&(bench, threads)].misses;
+        let denom = m.l1d_accesses.max(1) as f64;
+        t.push_row(vec![
+            bench.label().to_string(),
+            threads.to_string(),
+            f2(100.0 * m.cold_misses as f64 / denom),
+            f2(100.0 * m.capacity_misses as f64 / denom),
+            f2(100.0 * m.sharing_misses as f64 / denom),
+            f2(m.l1d_miss_rate()),
+        ]);
+    }
+    t
+}
+
+/// Fig. 4: cache-hierarchy miss rate (L2 misses / L1 accesses), percent.
+pub fn fig4(sweep: &Sweep) -> Table {
+    let mut t = Table::new(
+        "Fig. 4: Cache hierarchy miss rates at best thread count",
+        vec!["Benchmark", "Threads", "HierarchyMissRate%"],
+    );
+    for bench in sweep.benchmarks() {
+        let (threads, _) = sweep.best(bench);
+        let m = &sweep.parallel[&(bench, threads)].misses;
+        t.push_row(vec![
+            bench.label().to_string(),
+            threads.to_string(),
+            f2(m.hierarchy_miss_rate()),
+        ]);
+    }
+    t
+}

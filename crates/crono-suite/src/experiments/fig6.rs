@@ -1,0 +1,44 @@
+//! Fig. 6: normalized dynamic energy breakdown of the memory system
+//! (L1-I / L1-D / L2 / directory / routers / links / DRAM) at the best
+//! thread count, using the DSENT/McPAT-style 11 nm model.
+
+use crate::report::{pct, Table};
+use crate::runner::Sweep;
+use crono_energy::EnergyModel;
+
+/// One row per benchmark with the seven normalized energy shares.
+pub fn generate(sweep: &Sweep, model: &EnergyModel) -> Table {
+    let mut t = Table::new(
+        "Fig. 6: Normalized dynamic energy breakdowns",
+        vec![
+            "Benchmark",
+            "Threads",
+            "L1-I%",
+            "L1-D%",
+            "L2%",
+            "Directory%",
+            "Router%",
+            "Link%",
+            "DRAM%",
+            "Network%",
+        ],
+    );
+    for bench in sweep.benchmarks() {
+        let (threads, _) = sweep.best(bench);
+        let report = &sweep.parallel[&(bench, threads)];
+        let e = model.evaluate(&report.energy).normalized();
+        t.push_row(vec![
+            bench.label().to_string(),
+            threads.to_string(),
+            pct(e.l1i),
+            pct(e.l1d),
+            pct(e.l2),
+            pct(e.directory),
+            pct(e.network_router),
+            pct(e.network_link),
+            pct(e.dram),
+            pct(e.network_share()),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,57 @@
+//! Fig. 7 (normalized completion-time breakdown on out-of-order cores at
+//! the best thread count) and Fig. 8 (speedups over the sequential OOO
+//! core). Run these on a sweep built with `SimConfig::paper_ooo()`.
+
+use crate::report::{f2, pct, Table};
+use crate::runner::Sweep;
+
+/// Fig. 7: stacked normalized completion-time components at the best
+/// thread count, OOO cores.
+pub fn fig7(sweep: &Sweep) -> Table {
+    let mut t = Table::new(
+        "Fig. 7: OOO normalized completion time at best thread count",
+        vec![
+            "Benchmark",
+            "Threads",
+            "Compute%",
+            "L1Cache-L2Home%",
+            "L2Home-Waiting%",
+            "L2Home-Sharers%",
+            "L2Home-OffChip%",
+            "Synchronization%",
+        ],
+    );
+    for bench in sweep.benchmarks() {
+        let (threads, _) = sweep.best(bench);
+        let b = sweep.parallel[&(bench, threads)].breakdown();
+        let total = b.total().max(1) as f64;
+        t.push_row(vec![
+            bench.label().to_string(),
+            threads.to_string(),
+            pct(b.compute as f64 / total),
+            pct(b.l1_to_l2home as f64 / total),
+            pct(b.l2home_waiting as f64 / total),
+            pct(b.l2home_sharers as f64 / total),
+            pct(b.l2home_offchip as f64 / total),
+            pct(b.synchronization as f64 / total),
+        ]);
+    }
+    t
+}
+
+/// Fig. 8: speedups at the best thread count over a sequential OOO core.
+pub fn fig8(sweep: &Sweep) -> Table {
+    let mut t = Table::new(
+        "Fig. 8: Speedups over sequential OOO core",
+        vec!["Benchmark", "Best threads", "Speedup"],
+    );
+    for bench in sweep.benchmarks() {
+        let (threads, speedup) = sweep.best(bench);
+        t.push_row(vec![
+            bench.label().to_string(),
+            threads.to_string(),
+            f2(speedup),
+        ]);
+    }
+    t
+}

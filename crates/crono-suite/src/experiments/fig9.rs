@@ -1,0 +1,29 @@
+//! Fig. 9: real-machine speedups (native backend, 1–16 threads) — the
+//! paper's validation that simulator trends hold on hardware (§VI).
+
+use crate::report::{f2, Table};
+use crate::runner::NativeSweep;
+use crate::scale::Scale;
+use crono_algos::Benchmark;
+
+/// Runs the native sweep and renders one row per benchmark with a
+/// speedup column per thread count.
+pub fn generate(scale: &Scale, repeats: usize, progress: bool) -> Table {
+    let sweep = NativeSweep::run(scale, repeats, progress);
+    render(&sweep)
+}
+
+/// Renders an already-run native sweep.
+pub fn render(sweep: &NativeSweep) -> Table {
+    let mut headers = vec!["Benchmark".to_string()];
+    headers.extend(sweep.thread_counts.iter().map(|t| format!("{t}t")));
+    let mut t = Table::new("Fig. 9: Real-machine speedups", headers);
+    for bench in Benchmark::ALL {
+        let mut row = vec![bench.label().to_string()];
+        for &threads in &sweep.thread_counts {
+            row.push(f2(sweep.speedup(bench, threads)));
+        }
+        t.push_row(row);
+    }
+    t
+}

@@ -1,0 +1,12 @@
+//! One regenerator per figure/table of the paper. Each produces
+//! [`crate::report::Table`]s whose rows mirror what the paper plots.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig34;
+pub mod fig5;
+pub mod fig6;
+pub mod fig78;
+pub mod fig9;
+pub mod table4;
+pub mod tables;

@@ -1,0 +1,46 @@
+//! The CRONO characterization harness: regenerates every figure and
+//! table of the IISWC 2015 paper from the live simulator, energy model,
+//! and native backend.
+//!
+//! The `crono` binary drives it:
+//!
+//! ```text
+//! crono table1|table2|table3|table4       # configuration & speedup tables
+//! crono fig1|fig2|...|fig9                # figure regenerators
+//! crono all                               # everything, sharing sweeps
+//!   --scale test|small|paper              # input sizes (default: small)
+//!   --out DIR                             # also write TSV files
+//! ```
+//!
+//! Experiments that share simulator runs (Figs. 1–4, 6) reuse one
+//! [`runner::Sweep`]; Figs. 7–8 share an out-of-order sweep.
+//!
+//! # Examples
+//!
+//! ```
+//! use crono_suite::{experiments, runner::Sweep, scale::Scale};
+//! use crono_sim::SimConfig;
+//! use crono_algos::Benchmark;
+//!
+//! let sweep = Sweep::run_filtered(
+//!     &Scale::test(),
+//!     &SimConfig::tiny(16),
+//!     false,
+//!     &[Benchmark::Bfs],
+//! );
+//! let table = experiments::fig1::generate(&sweep);
+//! assert!(table.render().contains("BFS"));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod workload;
+
+pub use report::Table;
+pub use scale::Scale;
+pub use workload::Workload;

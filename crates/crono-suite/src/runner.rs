@@ -1,0 +1,255 @@
+//! Dispatches benchmarks onto machines and caches sweep results that
+//! several figures share.
+
+use crate::scale::Scale;
+use crate::workload::Workload;
+use crono_algos::{
+    apsp, betweenness, bfs, community, connected, dfs, pagerank, sssp, triangle, tsp, Benchmark,
+};
+use crono_runtime::{Machine, NativeMachine, RunReport};
+use crono_sim::{SimConfig, SimMachine};
+use std::collections::HashMap;
+
+/// Runs `bench`'s *parallel* version on `machine`, discarding the
+/// algorithmic output.
+pub fn run_parallel<M: Machine>(bench: Benchmark, machine: &M, w: &Workload) -> RunReport {
+    match bench {
+        Benchmark::SsspDijk => sssp::parallel(machine, &w.graph, w.source).report,
+        Benchmark::Apsp => apsp::parallel(machine, &w.matrix).report,
+        Benchmark::BetwCent => betweenness::parallel(machine, &w.matrix).report,
+        Benchmark::Bfs => bfs::parallel(machine, &w.graph, w.source).report,
+        Benchmark::Dfs => dfs::parallel(machine, &w.graph, w.source, None).report,
+        Benchmark::Tsp => tsp::parallel(machine, &w.tsp).report,
+        Benchmark::ConnComp => connected::parallel(machine, &w.graph).report,
+        Benchmark::TriCnt => triangle::parallel(machine, &w.graph).report,
+        Benchmark::PageRank => pagerank::parallel(machine, &w.graph, w.pagerank_iters).report,
+        Benchmark::Comm => community::parallel(machine, &w.graph, w.comm_rounds).report,
+    }
+}
+
+/// Runs `bench`'s *sequential reference* on a one-thread machine.
+///
+/// # Panics
+///
+/// Panics if `machine.num_threads() != 1`.
+pub fn run_sequential<M: Machine>(bench: Benchmark, machine: &M, w: &Workload) -> RunReport {
+    match bench {
+        Benchmark::SsspDijk => sssp::sequential(machine, &w.graph, w.source).report,
+        Benchmark::Apsp => apsp::sequential(machine, &w.matrix).report,
+        Benchmark::BetwCent => betweenness::sequential(machine, &w.matrix).report,
+        Benchmark::Bfs => bfs::sequential(machine, &w.graph, w.source).report,
+        Benchmark::Dfs => dfs::sequential(machine, &w.graph, w.source, None).report,
+        Benchmark::Tsp => tsp::sequential(machine, &w.tsp).report,
+        Benchmark::ConnComp => connected::sequential(machine, &w.graph).report,
+        Benchmark::TriCnt => triangle::sequential(machine, &w.graph).report,
+        Benchmark::PageRank => pagerank::sequential(machine, &w.graph, w.pagerank_iters).report,
+        Benchmark::Comm => community::sequential(machine, &w.graph, w.comm_rounds).report,
+    }
+}
+
+/// One full simulator sweep over thread counts, shared by Figs. 1–4
+/// and 6 (and, with the OOO config, Figs. 7–8).
+#[derive(Debug)]
+pub struct Sweep {
+    /// The scale that generated the workload.
+    pub scale: Scale,
+    /// The simulator configuration used.
+    pub config: SimConfig,
+    /// Sequential-reference report per benchmark (one simulated thread).
+    pub sequential: HashMap<Benchmark, RunReport>,
+    /// Parallel report per `(benchmark, thread_count)`.
+    pub parallel: HashMap<(Benchmark, usize), RunReport>,
+}
+
+impl Sweep {
+    /// Runs every benchmark at every thread count of `scale` on the
+    /// simulator. `progress` lines go to stderr.
+    pub fn run(scale: &Scale, config: &SimConfig, progress: bool) -> Sweep {
+        Self::run_filtered(scale, config, progress, &Benchmark::ALL)
+    }
+
+    /// As [`Sweep::run`], restricted to `benchmarks`.
+    pub fn run_filtered(
+        scale: &Scale,
+        config: &SimConfig,
+        progress: bool,
+        benchmarks: &[Benchmark],
+    ) -> Sweep {
+        let w = Workload::synthetic(scale);
+        let mut sequential = HashMap::new();
+        let mut parallel = HashMap::new();
+        for &bench in benchmarks {
+            if progress {
+                eprintln!("[sweep] {bench}: sequential reference");
+            }
+            let seq_machine = SimMachine::new(config.clone(), 1);
+            sequential.insert(bench, run_sequential(bench, &seq_machine, &w));
+            for &threads in &scale.thread_counts {
+                if threads > config.num_cores {
+                    continue;
+                }
+                if progress {
+                    eprintln!("[sweep] {bench}: {threads} threads");
+                }
+                let machine = SimMachine::new(config.clone(), threads);
+                parallel.insert((bench, threads), run_parallel(bench, &machine, &w));
+            }
+        }
+        Sweep {
+            scale: scale.clone(),
+            config: config.clone(),
+            sequential,
+            parallel,
+        }
+    }
+
+    /// The benchmarks this sweep covers, in suite order.
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .filter(|b| self.sequential.contains_key(b))
+            .collect()
+    }
+
+    /// Thread counts actually swept, ascending.
+    pub fn thread_counts(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self
+            .parallel
+            .keys()
+            .filter(|(b, _)| Some(b) == self.benchmarks().first())
+            .map(|&(_, t)| t)
+            .collect();
+        t.sort_unstable();
+        t
+    }
+
+    /// Speedup of `bench` at `threads` over its sequential reference.
+    pub fn speedup(&self, bench: Benchmark, threads: usize) -> f64 {
+        let seq = self.sequential[&bench].completion as f64;
+        let par = self.parallel[&(bench, threads)].completion as f64;
+        if par == 0.0 {
+            0.0
+        } else {
+            seq / par
+        }
+    }
+
+    /// `(threads, speedup)` of the best-performing thread count (the
+    /// paper reports most per-benchmark statistics "at the best thread
+    /// count").
+    pub fn best(&self, bench: Benchmark) -> (usize, f64) {
+        self.parallel
+            .keys()
+            .filter(|(b, _)| *b == bench)
+            .map(|&(_, t)| (t, self.speedup(bench, t)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("sweep covered this benchmark")
+    }
+
+    /// The report at `bench`'s best thread count.
+    pub fn best_report(&self, bench: Benchmark) -> &RunReport {
+        let (t, _) = self.best(bench);
+        &self.parallel[&(bench, t)]
+    }
+}
+
+/// Native-machine sweep used by Fig. 9.
+#[derive(Debug)]
+pub struct NativeSweep {
+    /// Sequential wall-time report per benchmark.
+    pub sequential: HashMap<Benchmark, RunReport>,
+    /// Parallel wall-time report per `(benchmark, thread_count)`.
+    pub parallel: HashMap<(Benchmark, usize), RunReport>,
+    /// Thread counts swept.
+    pub thread_counts: Vec<usize>,
+}
+
+impl NativeSweep {
+    /// Runs every benchmark natively over the scale's native thread
+    /// counts, repeating each measurement `repeats` times and keeping the
+    /// fastest (wall-clock noise suppression).
+    pub fn run(scale: &Scale, repeats: usize, progress: bool) -> NativeSweep {
+        let w = Workload::synthetic(scale);
+        let mut sequential = HashMap::new();
+        let mut parallel = HashMap::new();
+        for bench in Benchmark::ALL {
+            if progress {
+                eprintln!("[native] {bench}");
+            }
+            let machine = NativeMachine::new(1);
+            let best = (0..repeats.max(1))
+                .map(|_| run_sequential(bench, &machine, &w))
+                .min_by_key(|r| r.completion)
+                .expect("at least one repeat");
+            sequential.insert(bench, best);
+            for &threads in &scale.native_thread_counts {
+                let machine = NativeMachine::new(threads);
+                let best = (0..repeats.max(1))
+                    .map(|_| run_parallel(bench, &machine, &w))
+                    .min_by_key(|r| r.completion)
+                    .expect("at least one repeat");
+                parallel.insert((bench, threads), best);
+            }
+        }
+        NativeSweep {
+            sequential,
+            parallel,
+            thread_counts: scale.native_thread_counts.clone(),
+        }
+    }
+
+    /// Wall-clock speedup of `bench` at `threads`.
+    pub fn speedup(&self, bench: Benchmark, threads: usize) -> f64 {
+        let seq = self.sequential[&bench].completion as f64;
+        let par = self.parallel[&(bench, threads)].completion as f64;
+        if par == 0.0 {
+            0.0
+        } else {
+            seq / par
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_dispatches_on_native() {
+        let w = Workload::synthetic(&Scale::test());
+        let machine = NativeMachine::new(2);
+        for bench in Benchmark::ALL {
+            let report = run_parallel(bench, &machine, &w);
+            assert_eq!(report.threads.len(), 2, "{bench}");
+        }
+    }
+
+    #[test]
+    fn sequential_dispatch_requires_one_thread() {
+        let w = Workload::synthetic(&Scale::test());
+        let machine = NativeMachine::new(1);
+        for bench in Benchmark::ALL {
+            let report = run_sequential(bench, &machine, &w);
+            assert_eq!(report.threads.len(), 1, "{bench}");
+        }
+    }
+
+    #[test]
+    fn sweep_indexes_are_complete() {
+        let scale = Scale::test();
+        let config = SimConfig::tiny(16);
+        let sweep = Sweep::run_filtered(
+            &scale,
+            &config,
+            false,
+            &[Benchmark::Bfs, Benchmark::TriCnt],
+        );
+        assert_eq!(sweep.benchmarks(), vec![Benchmark::Bfs, Benchmark::TriCnt]);
+        assert_eq!(sweep.thread_counts(), vec![1, 4, 16]);
+        let (t, s) = sweep.best(Benchmark::Bfs);
+        assert!(scale.thread_counts.contains(&t));
+        assert!(s > 0.0);
+        assert!(sweep.best_report(Benchmark::Bfs).completion > 0);
+    }
+}

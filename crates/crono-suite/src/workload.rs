@@ -1,0 +1,121 @@
+//! Concrete benchmark inputs built from a [`Scale`].
+
+use crate::scale::Scale;
+use crono_graph::gen::catalog::Dataset;
+use crono_graph::gen::{tsp_cities, uniform_random, TspInstance};
+use crono_graph::{AdjacencyMatrix, CsrGraph, VertexId};
+
+/// Everything the runner needs to execute any of the ten benchmarks:
+/// the sparse graph for the eight CSR benchmarks, the adjacency matrix
+/// for APSP/BETW_CENT, and the TSP city instance (§IV-F).
+#[derive(Debug)]
+pub struct Workload {
+    /// The CSR input used by SSSP, BFS, DFS, CONN_COMP, TRI_CNT,
+    /// PageRank, and COMM.
+    pub graph: CsrGraph,
+    /// The adjacency matrix used by APSP and BETW_CENT.
+    pub matrix: AdjacencyMatrix,
+    /// The TSP instance.
+    pub tsp: TspInstance,
+    /// Source vertex for SSSP/BFS/DFS.
+    pub source: VertexId,
+    /// PageRank iterations.
+    pub pagerank_iters: u32,
+    /// Louvain round bound.
+    pub comm_rounds: u32,
+}
+
+impl Workload {
+    /// The default synthetic-sparse workload of a scale (the evaluation's
+    /// default input, §V: "the evaluation uses ... synthetic sparse
+    /// graphs as default").
+    pub fn synthetic(scale: &Scale) -> Workload {
+        let graph = uniform_random(
+            scale.sparse_vertices,
+            scale.sparse_edges,
+            crono_graph::gen::catalog::DEFAULT_MAX_WEIGHT,
+            scale.seed,
+        );
+        Workload {
+            matrix: Self::matrix_input(scale.matrix_vertices, scale.seed),
+            tsp: tsp_cities(scale.tsp_cities, scale.seed),
+            graph,
+            source: 0,
+            pagerank_iters: scale.pagerank_iters,
+            comm_rounds: scale.comm_rounds,
+        }
+    }
+
+    /// A Table III dataset stand-in as the CSR input (matrix and TSP
+    /// parts stay at the scale's defaults — Table IV reports `-` for
+    /// them).
+    pub fn from_dataset(scale: &Scale, dataset: Dataset) -> Workload {
+        Workload {
+            graph: dataset.generate(scale.dataset_shrink, scale.seed),
+            ..Workload::synthetic(scale)
+        }
+    }
+
+    /// A synthetic workload with an overridden sparse-graph size (the
+    /// Fig. 5 vertex-scaling study); edges keep the scale's
+    /// edges-per-vertex ratio.
+    pub fn with_sparse_size(scale: &Scale, vertices: usize) -> Workload {
+        let per_vertex = (scale.sparse_edges as f64 / scale.sparse_vertices as f64).max(1.0);
+        let edges = (vertices as f64 * per_vertex) as usize;
+        let max_possible = vertices * (vertices - 1) / 2;
+        Workload {
+            graph: uniform_random(
+                vertices,
+                edges.clamp(vertices - 1, max_possible),
+                crono_graph::gen::catalog::DEFAULT_MAX_WEIGHT,
+                scale.seed,
+            ),
+            ..Workload::synthetic(scale)
+        }
+    }
+
+    /// Builds the APSP/BETW_CENT matrix input: a sparse random graph of
+    /// `n` vertices densified to ~8 neighbors per vertex.
+    pub fn matrix_input(n: usize, seed: u64) -> AdjacencyMatrix {
+        let edges = (4 * n).min(n * (n - 1) / 2);
+        AdjacencyMatrix::from_csr(&uniform_random(
+            n,
+            edges,
+            crono_graph::gen::catalog::DEFAULT_MAX_WEIGHT,
+            seed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_matches_scale() {
+        let s = Scale::test();
+        let w = Workload::synthetic(&s);
+        assert_eq!(w.graph.num_vertices(), s.sparse_vertices);
+        assert_eq!(w.graph.num_directed_edges(), 2 * s.sparse_edges);
+        assert_eq!(w.matrix.num_vertices(), s.matrix_vertices);
+        assert_eq!(w.tsp.num_cities(), s.tsp_cities);
+    }
+
+    #[test]
+    fn dataset_workload_swaps_graph_only() {
+        let s = Scale::test();
+        let w = Workload::from_dataset(&s, Dataset::RoadTx);
+        assert_ne!(w.graph.num_vertices(), s.sparse_vertices);
+        assert_eq!(w.matrix.num_vertices(), s.matrix_vertices);
+    }
+
+    #[test]
+    fn sparse_size_override_keeps_density() {
+        let s = Scale::test();
+        let w = Workload::with_sparse_size(&s, 1024);
+        assert_eq!(w.graph.num_vertices(), 1024);
+        let per_vertex = w.graph.num_directed_edges() as f64 / 1024.0;
+        let base = 2.0 * s.sparse_edges as f64 / s.sparse_vertices as f64;
+        assert!((per_vertex - base).abs() < 1.0, "{per_vertex} vs {base}");
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end tests of the `crono` binary.
+
+use std::process::Command;
+
+fn crono() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_crono"))
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = crono().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"));
+    assert!(stderr.contains("fig1"));
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    let out = crono().arg("fig99").output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_scale_is_rejected() {
+    let out = crono()
+        .args(["table1", "--scale", "enormous"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scale"));
+}
+
+#[test]
+fn table1_prints_all_benchmarks() {
+    let out = crono().arg("table1").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for label in [
+        "SSSP_DIJK",
+        "APSP",
+        "BETW_CENT",
+        "BFS",
+        "DFS",
+        "TSP",
+        "CONN_COMP",
+        "TRI_CNT",
+        "PageRank",
+        "COMM",
+    ] {
+        assert!(stdout.contains(label), "missing {label}");
+    }
+}
+
+#[test]
+fn table2_reflects_table_ii() {
+    let out = crono().arg("table2").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("256 @ 1 GHz"));
+    assert!(stdout.contains("ACKWise4"));
+}
+
+#[test]
+fn out_flag_writes_tsv_files() {
+    let dir = std::env::temp_dir().join(format!("crono-cli-test-{}", std::process::id()));
+    let out = crono()
+        .args(["table3", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let tsv = std::fs::read_to_string(dir.join("table_iii.tsv")).expect("tsv written");
+    assert!(tsv.starts_with("Dataset\t"));
+    assert!(tsv.contains("1048576"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fig3_runs_at_test_scale() {
+    let out = crono()
+        .args(["fig3", "--scale", "test", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Cold%"));
+    assert!(stdout.contains("SSSP_DIJK"));
+}

@@ -1,0 +1,48 @@
+//! Quickstart: generate a graph, run two benchmarks natively, inspect
+//! the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use crono::algos::{bfs, sssp};
+use crono::graph::gen::uniform_random;
+use crono::graph::stats::graph_stats;
+use crono::runtime::NativeMachine;
+
+fn main() {
+    // A GTgraph-style synthetic sparse graph: 16K vertices, 128K edges.
+    let graph = uniform_random(16_384, 131_072, 64, 42);
+    let stats = graph_stats(&graph);
+    println!(
+        "graph: {} vertices, {} directed edges, avg degree {:.1}, {} component(s)",
+        stats.vertices, stats.directed_edges, stats.avg_degree, stats.components
+    );
+
+    let machine = NativeMachine::new(4);
+
+    let b = bfs::parallel(&machine, &graph, 0);
+    println!(
+        "BFS:  reached {} vertices in {} levels ({:?} wall)",
+        b.output.reachable, b.output.levels, b.report.wall
+    );
+
+    let s = sssp::parallel(&machine, &graph, 0);
+    let reachable = s
+        .output
+        .dist
+        .iter()
+        .filter(|&&d| d != sssp::UNREACHABLE)
+        .count();
+    let farthest = s
+        .output
+        .dist
+        .iter()
+        .filter(|&&d| d != sssp::UNREACHABLE)
+        .max()
+        .unwrap();
+    println!(
+        "SSSP: {} vertices reachable, farthest at weighted distance {}, {} pareto fronts ({:?} wall)",
+        reachable, farthest, s.output.rounds, s.report.wall
+    );
+}

@@ -1,0 +1,53 @@
+//! Path planning on a road network — the paper's self-driving-car
+//! motivation (§I): generate a city-scale road grid, answer a navigation
+//! query with SSSP, and find the "important intersections" with
+//! betweenness centrality.
+//!
+//! ```sh
+//! cargo run --release --example road_navigation
+//! ```
+
+use crono::algos::{betweenness, sssp};
+use crono::graph::gen::road_network;
+use crono::graph::stats::graph_stats;
+use crono::graph::AdjacencyMatrix;
+use crono::runtime::NativeMachine;
+
+fn main() {
+    // A 128×128 road grid with dead ends and a few highway shortcuts.
+    let roads = road_network(128, 128, 32, 0.15, 0.03, 7);
+    let stats = graph_stats(&roads);
+    println!(
+        "road network: {} intersections, {} road segments, BFS depth {}",
+        stats.vertices,
+        stats.directed_edges / 2,
+        stats.bfs_depth_from_zero
+    );
+
+    let machine = NativeMachine::new(4);
+
+    // Navigate from the northwest corner to the southeast corner.
+    let destination = (roads.num_vertices() - 1) as u32;
+    let route = sssp::parallel(&machine, &roads, 0);
+    println!(
+        "route 0 -> {destination}: total cost {} over {} pareto fronts",
+        route.output.dist[destination as usize], route.output.rounds
+    );
+
+    // Betweenness on a small downtown area (dense matrix, as the paper
+    // configures APSP-family benchmarks).
+    let downtown = road_network(24, 24, 16, 0.1, 0.02, 9);
+    let matrix = AdjacencyMatrix::from_csr(&downtown);
+    let centrality = betweenness::parallel(&machine, &matrix);
+    let (busiest, paths) = centrality
+        .output
+        .centrality
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .unwrap();
+    println!(
+        "downtown: intersection {busiest} lies on {paths} shortest paths — \
+         a candidate for traffic-light priority"
+    );
+}

@@ -1,0 +1,53 @@
+//! Graph processing on a social network — the paper's data-analytics
+//! motivation (§I): rank users with PageRank, measure clustering with
+//! triangle counting, and find communities with Louvain.
+//!
+//! ```sh
+//! cargo run --release --example social_analytics
+//! ```
+
+use crono::algos::{community, pagerank, triangle};
+use crono::graph::gen::{rmat, RmatParams};
+use crono::graph::stats::{clustering_coefficient, degree_histogram};
+use crono::runtime::NativeMachine;
+
+fn main() {
+    // An R-MAT power-law graph standing in for a social network.
+    let social = rmat(14, 131_072, 8, RmatParams::default(), 11);
+    println!(
+        "social graph: {} users, {} friendships, max degree {}",
+        social.num_vertices(),
+        social.num_directed_edges() / 2,
+        social.max_degree()
+    );
+    let hist = degree_histogram(&social);
+    println!("degree histogram (power-of-two buckets): {hist:?}");
+    println!(
+        "clustering coefficient: {:.4} (social graphs cluster; roads do not)",
+        clustering_coefficient(&social)
+    );
+
+    let machine = NativeMachine::new(4);
+
+    let ranks = pagerank::parallel(&machine, &social, 20);
+    let (influencer, rank) = ranks
+        .output
+        .ranks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    println!(
+        "PageRank: user {influencer} is the top influencer (rank {rank:.4}, degree {})",
+        social.degree(influencer as u32)
+    );
+
+    let tri = triangle::parallel(&machine, &social);
+    println!("triangles: {} closed friend-triples", tri.output.total);
+
+    let comm = community::parallel(&machine, &social, 8);
+    println!(
+        "communities: {} found in {} rounds, modularity {:.3}",
+        comm.output.num_communities, comm.output.rounds, comm.output.modularity
+    );
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Splice measured TSVs from results/ into EXPERIMENTS.md tables.
+
+Usage: python3 scripts/experiments_md.py results/ > /tmp/measured_sections.md
+Prints one markdown section per results TSV, ready to paste/verify.
+"""
+import csv
+import sys
+from pathlib import Path
+
+
+def md_table(path: Path, max_rows: int | None = None) -> str:
+    with path.open() as fh:
+        rows = list(csv.reader(fh, delimiter="\t"))
+    if not rows:
+        return "(empty)\n"
+    head, body = rows[0], rows[1:]
+    if max_rows:
+        body = body[:max_rows]
+    out = ["| " + " | ".join(head) + " |", "|" + "---|" * len(head)]
+    out += ["| " + " | ".join(r) + " |" for r in body]
+    return "\n".join(out) + "\n"
+
+
+def main() -> None:
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    order = [
+        "table_i", "table_ii", "table_iii",
+        "fig_1", "fig_2", "fig_3", "fig_4",
+        "fig_5a", "fig_5b", "fig_5c",
+        "table_iv", "fig_6", "fig_7", "fig_8", "fig_9",
+        "paper_vs_measured", "qualitative_claims",
+    ]
+    seen = set()
+    for stem in order:
+        for path in sorted(results.glob(f"{stem}*.tsv")):
+            seen.add(path.name)
+            print(f"### {path.stem}\n")
+            print(md_table(path))
+    for path in sorted(results.glob("*.tsv")):
+        if path.name not in seen:
+            print(f"### {path.stem}\n")
+            print(md_table(path))
+
+
+if __name__ == "__main__":
+    main()

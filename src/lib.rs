@@ -1,0 +1,45 @@
+//! # CRONO-RS
+//!
+//! A Rust reproduction of **CRONO: A Benchmark Suite for Multithreaded Graph
+//! Algorithms Executing on Futuristic Multicores** (IISWC 2015).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — graph substrate: CSR graphs, synthetic generators
+//!   (road networks, R-MAT social graphs, uniform sparse), I/O.
+//! * [`runtime`] — the execution abstraction: [`runtime::ThreadCtx`],
+//!   [`runtime::Machine`], the native (real-machine) backend, and shared
+//!   atomic arrays.
+//! * [`sim`] — a Graphite-style many-core timing simulator: private L1s,
+//!   NUCA shared L2, MESI/ACKWise directory coherence, a 2-D mesh NoC with
+//!   link contention, DRAM controllers, in-order and out-of-order cores.
+//! * [`energy`] — DSENT/McPAT-style dynamic energy model at 11 nm.
+//! * [`algos`] — the ten CRONO benchmarks (SSSP, APSP, betweenness
+//!   centrality, BFS, DFS, TSP, connected components, triangle counting,
+//!   PageRank, community detection).
+//! * [`suite`] — the characterization harness that regenerates every
+//!   figure and table of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use crono::graph::gen::uniform_random;
+//! use crono::runtime::NativeMachine;
+//! use crono::algos::bfs;
+//!
+//! # fn main() {
+//! let graph = uniform_random(1024, 8 * 1024, 64, 42);
+//! let machine = NativeMachine::new(4);
+//! let result = bfs::parallel(&machine, &graph, 0);
+//! assert!(result.output.reachable > 0);
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use crono_algos as algos;
+pub use crono_energy as energy;
+pub use crono_graph as graph;
+pub use crono_runtime as runtime;
+pub use crono_sim as sim;
+pub use crono_suite as suite;

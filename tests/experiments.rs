@@ -1,0 +1,145 @@
+//! Integration tests for the experiment harness: every regenerator
+//! produces a well-formed table with the expected rows.
+
+use crono::algos::Benchmark;
+use crono::energy::EnergyModel;
+use crono::sim::SimConfig;
+use crono::suite::experiments::{fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables};
+use crono::suite::runner::Sweep;
+use crono::suite::Scale;
+
+fn test_sweep() -> Sweep {
+    // Two benchmarks keep the sweep fast while exercising both a
+    // graph-division and a vertex-capture workload.
+    Sweep::run_filtered(
+        &Scale::test(),
+        &SimConfig::tiny(16),
+        false,
+        &[Benchmark::Bfs, Benchmark::Apsp],
+    )
+}
+
+#[test]
+fn fig1_rows_cover_benchmarks_times_thread_counts() {
+    let sweep = test_sweep();
+    let t = fig1::generate(&sweep);
+    assert_eq!(t.rows.len(), 2 * Scale::test().thread_counts.len());
+    // Normalized shares sum to ~100%.
+    for row in &t.rows {
+        let sum: f64 = row[2..8].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+        assert!((sum - 100.0).abs() < 1.0, "row sums to {sum}");
+    }
+    let best = fig1::best_speedups(&sweep);
+    assert_eq!(best.rows.len(), 2);
+}
+
+#[test]
+fn fig2_traces_are_normalized() {
+    let sweep = test_sweep();
+    let t = fig2::generate(&sweep);
+    for row in &t.rows {
+        let max = row[2..]
+            .iter()
+            .map(|c| c.parse::<f64>().unwrap())
+            .fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-6, "trace max must be 1, got {max}");
+    }
+}
+
+#[test]
+fn fig3_and_fig4_report_percentages() {
+    let sweep = test_sweep();
+    for row in &fig34::fig3(&sweep).rows {
+        let total: f64 = row[5].parse().unwrap();
+        let parts: f64 = row[2..5].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+        assert!((total - parts).abs() < 0.1, "classes must sum to total");
+        assert!(total <= 100.0);
+    }
+    for row in &fig34::fig4(&sweep).rows {
+        let rate: f64 = row[2].parse().unwrap();
+        assert!((0.0..=100.0).contains(&rate));
+    }
+}
+
+#[test]
+fn fig6_energy_shares_sum_to_one() {
+    let sweep = test_sweep();
+    let t = fig6::generate(&sweep, &EnergyModel::default());
+    for row in &t.rows {
+        let sum: f64 = row[2..9].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+        assert!((sum - 100.0).abs() < 1.0, "energy shares sum to {sum}");
+    }
+}
+
+#[test]
+fn fig7_fig8_run_on_ooo_config() {
+    let sweep = Sweep::run_filtered(
+        &Scale::test(),
+        &SimConfig {
+            core: crono::sim::CoreModel::paper_ooo(),
+            ..SimConfig::tiny(16)
+        },
+        false,
+        &[Benchmark::Bfs],
+    );
+    assert_eq!(fig78::fig7(&sweep).rows.len(), 1);
+    assert_eq!(fig78::fig8(&sweep).rows.len(), 1);
+}
+
+#[test]
+fn static_tables_match_the_paper() {
+    assert_eq!(tables::table1().rows.len(), 10);
+    let t2 = tables::table2(&SimConfig::default()).render();
+    assert!(t2.contains("ACKWise4"));
+    assert!(t2.contains("5 GBps"));
+    assert_eq!(tables::table3().rows.len(), 5);
+}
+
+#[test]
+fn fig5_produces_three_panels() {
+    let mut scale = Scale::test();
+    scale.thread_counts = vec![1, 4];
+    scale.vertex_scale_points = vec![128, 256];
+    scale.matrix_scale_points = vec![16];
+    scale.tsp_scale_points = vec![5];
+    let panels = fig5::generate(&scale, &SimConfig::tiny(16), false);
+    assert_eq!(panels.len(), 3);
+    assert_eq!(panels[0].rows.len(), 7, "seven CSR benchmarks");
+    assert_eq!(panels[1].rows.len(), 2, "APSP and BETW_CENT");
+    assert_eq!(panels[2].rows.len(), 1, "TSP");
+}
+
+#[test]
+fn table4_reports_dashes_for_fixed_input_benchmarks() {
+    let mut scale = Scale::test();
+    scale.thread_counts = vec![1, 4];
+    scale.sparse_vertices = 128;
+    scale.sparse_edges = 512;
+    scale.matrix_vertices = 16;
+    scale.tsp_cities = 5;
+    scale.dataset_shrink = 14;
+    let t = table4::generate(&scale, &SimConfig::tiny(16), false);
+    assert_eq!(t.rows.len(), 10);
+    let apsp_row = t.rows.iter().find(|r| r[0] == "APSP").unwrap();
+    assert_eq!(apsp_row[2], "-");
+    let bfs_row = t.rows.iter().find(|r| r[0] == "BFS").unwrap();
+    assert!(bfs_row.iter().skip(1).all(|c| c != "-"));
+}
+
+#[test]
+fn fig9_native_sweep_renders() {
+    let mut scale = Scale::test();
+    scale.sparse_vertices = 128;
+    scale.sparse_edges = 512;
+    scale.matrix_vertices = 16;
+    scale.tsp_cities = 5;
+    scale.native_thread_counts = vec![1, 2];
+    let t = fig9::generate(&scale, 1, false);
+    assert_eq!(t.rows.len(), 10);
+    for row in &t.rows {
+        for cell in &row[1..] {
+            let speedup: f64 = cell.parse().unwrap();
+            assert!(speedup > 0.0);
+        }
+    }
+}
