@@ -3,7 +3,7 @@
 //! packed lock layout (false sharing), plus the paper's §VII proposals:
 //! locality-aware coherence and O1TURN oblivious routing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::workload;
 use crono_sim::{MeshConfig, RoutingPolicy, SimConfig, SimMachine};
 use crono_suite::runner::run_parallel;

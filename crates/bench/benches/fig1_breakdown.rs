@@ -2,7 +2,7 @@
 //! One representative benchmark per parallelization strategy, at an
 //! intermediate thread count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::{sim, workload};
 use crono_suite::runner::run_parallel;
 use crono_algos::Benchmark;

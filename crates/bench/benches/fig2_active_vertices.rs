@@ -1,6 +1,6 @@
 //! Fig. 2 regenerator bench: active-vertex tracing and bucketing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::{sim, workload};
 use crono_suite::experiments::fig2::bucketize;
 use crono_suite::runner::run_parallel;

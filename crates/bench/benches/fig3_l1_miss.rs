@@ -1,6 +1,6 @@
 //! Fig. 3 regenerator bench: L1 miss classification under the simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::{sim, workload};
 use crono_suite::runner::run_parallel;
 use crono_algos::Benchmark;

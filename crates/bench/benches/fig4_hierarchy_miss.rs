@@ -1,6 +1,6 @@
 //! Fig. 4 regenerator bench: cache-hierarchy miss rates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::{sim, workload};
 use crono_suite::runner::run_parallel;
 use crono_algos::Benchmark;

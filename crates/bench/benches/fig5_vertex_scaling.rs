@@ -1,6 +1,6 @@
 //! Fig. 5 regenerator bench: speedup measurement across graph sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crono_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crono_bench::{scale, sim};
 use crono_suite::runner::run_parallel;
 use crono_suite::Workload;

@@ -1,6 +1,6 @@
 //! Fig. 6 regenerator bench: the dynamic energy model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::{sim, workload};
 use crono_energy::EnergyModel;
 use crono_suite::runner::run_parallel;

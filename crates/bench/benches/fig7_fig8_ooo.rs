@@ -1,6 +1,6 @@
 //! Figs. 7–8 regenerator bench: out-of-order core simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::{sim, sim_ooo, workload};
 use crono_suite::runner::run_parallel;
 use crono_algos::Benchmark;

@@ -1,7 +1,7 @@
 //! Fig. 9 regenerator bench: native-backend wall-clock runs — these are
 //! the "real machine" numbers, so criterion's statistics are the result.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crono_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crono_bench::workload;
 use crono_runtime::NativeMachine;
 use crono_suite::runner::{run_parallel, run_sequential};

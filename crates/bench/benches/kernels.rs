@@ -1,7 +1,7 @@
 //! Native-speed microbenches of the ten algorithm kernels — the raw
 //! performance of the suite when it is *not* being simulated.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::workload;
 use crono_runtime::NativeMachine;
 use crono_suite::runner::run_parallel;

@@ -1,7 +1,7 @@
 //! Table IV regenerator bench: the dataset stand-ins and a simulated run
 //! on each graph class.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::{scale, sim};
 use crono_graph::gen::catalog::Dataset;
 use crono_suite::runner::run_parallel;

@@ -1,0 +1,359 @@
+//! A minimal, std-only benchmark harness with criterion's API shape.
+//!
+//! The bench targets were written against `criterion` (benchmark groups,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`). Criterion is a
+//! registry dependency, so this module provides the same surface in-tree:
+//! warmup, a fixed number of timed samples, median/p10/p90 summaries
+//! printed to stdout, and a machine-readable JSON report per group under
+//! the workspace `results/` directory.
+//!
+//! Environment overrides (all optional) keep CI fast and deterministic:
+//!
+//! * `CRONO_BENCH_SAMPLES` — samples per function (default 10; set 1 for
+//!   a smoke run),
+//! * `CRONO_BENCH_WARMUP_MS` — warmup budget per function,
+//! * `CRONO_BENCH_MEASURE_MS` — measurement budget per function (sampling
+//!   stops early once spent).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Workspace-relative directory the JSON reports land in.
+const RESULTS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+
+/// Top-level harness handle; one per bench binary.
+///
+/// # Examples
+///
+/// ```
+/// use crono_bench::Criterion;
+///
+/// std::env::set_var("CRONO_BENCH_SAMPLES", "2");
+/// std::env::set_var("CRONO_BENCH_WARMUP_MS", "1");
+/// let mut c = Criterion::default();
+/// let mut g = c.benchmark_group("doctest_group");
+/// g.bench_function("noop", |b| b.iter(|| 1 + 1));
+/// // Dropping the group without `finish()` discards the results.
+/// ```
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmark functions.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: env_usize("CRONO_BENCH_SAMPLES", 10),
+            warm_up: Duration::from_millis(env_u64("CRONO_BENCH_WARMUP_MS", 500)),
+            measurement: Duration::from_millis(env_u64("CRONO_BENCH_MEASURE_MS", 3_000)),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// A named benchmark id, optionally parameterized (criterion-compatible).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Collects timing samples for one benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    sample_ns: Vec<u64>,
+    target_samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: warms up for the group's warmup budget, then records
+    /// one sample per iteration until the sample target or the
+    /// measurement budget is reached (always at least one sample).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            std::hint::black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let measure_start = Instant::now();
+        while self.sample_ns.len() < self.target_samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.sample_ns.push(t0.elapsed().as_nanos() as u64);
+            if !self.sample_ns.is_empty() && measure_start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+/// Summary statistics for one benchmark function, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct FunctionStats {
+    /// The function's id within the group.
+    pub name: String,
+    /// Number of recorded samples.
+    pub samples: usize,
+    /// Median sample.
+    pub median_ns: u64,
+    /// 10th-percentile sample.
+    pub p10_ns: u64,
+    /// 90th-percentile sample.
+    pub p90_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+}
+
+impl FunctionStats {
+    fn from_samples(name: String, mut ns: Vec<u64>) -> Self {
+        assert!(!ns.is_empty(), "benchmark `{name}` recorded no samples");
+        ns.sort_unstable();
+        let n = ns.len();
+        let pct = |p: f64| ns[(((n - 1) as f64) * p).round() as usize];
+        FunctionStats {
+            name,
+            samples: n,
+            median_ns: pct(0.5),
+            p10_ns: pct(0.1),
+            p90_ns: pct(0.9),
+            mean_ns: (ns.iter().sum::<u64>() / n as u64),
+            min_ns: ns[0],
+            max_ns: ns[n - 1],
+        }
+    }
+}
+
+/// A group of benchmark functions sharing sampling configuration.
+/// Dropping the group without calling [`finish`](Self::finish) discards
+/// the results.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<FunctionStats>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-function sample target (overridden by
+    /// `CRONO_BENCH_SAMPLES`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var_os("CRONO_BENCH_SAMPLES").is_none() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Sets the warmup budget (overridden by `CRONO_BENCH_WARMUP_MS`).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if std::env::var_os("CRONO_BENCH_WARMUP_MS").is_none() {
+            self.warm_up = d;
+        }
+        self
+    }
+
+    /// Sets the measurement budget (overridden by
+    /// `CRONO_BENCH_MEASURE_MS`).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if std::env::var_os("CRONO_BENCH_MEASURE_MS").is_none() {
+            self.measurement = d;
+        }
+        self
+    }
+
+    /// Runs one benchmark function and records its statistics.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_ns: Vec::with_capacity(self.sample_size),
+            target_samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut bencher);
+        let stats = FunctionStats::from_samples(id.id, bencher.sample_ns);
+        println!(
+            "{}/{:<40} median {:>12} ns   p10 {:>12} ns   p90 {:>12} ns   ({} samples)",
+            self.name, stats.name, stats.median_ns, stats.p10_ns, stats.p90_ns, stats.samples
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// Criterion-compatible variant threading `input` through to the
+    /// closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Writes the group's JSON report under `results/` and prints its
+    /// path.
+    pub fn finish(self) {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"group\": \"{}\",", escape(&self.name));
+        let _ = writeln!(json, "  \"sample_target\": {},", self.sample_size);
+        let _ = writeln!(json, "  \"functions\": [");
+        for (i, s) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"samples\": {}, \"median_ns\": {}, \
+                 \"p10_ns\": {}, \"p90_ns\": {}, \"mean_ns\": {}, \
+                 \"min_ns\": {}, \"max_ns\": {}}}{comma}",
+                escape(&s.name), s.samples, s.median_ns, s.p10_ns, s.p90_ns,
+                s.mean_ns, s.min_ns, s.max_ns
+            );
+        }
+        let _ = writeln!(json, "  ]");
+        let _ = writeln!(json, "}}");
+
+        let file = format!("bench_{}.json", sanitize(&self.name));
+        if let Err(e) = std::fs::create_dir_all(RESULTS_DIR)
+            .and_then(|()| std::fs::write(format!("{RESULTS_DIR}/{file}"), &json))
+        {
+            eprintln!("warning: could not write results/{file}: {e}");
+        } else {
+            println!("{} -> results/{file}", self.name);
+        }
+    }
+}
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(default, |n: usize| n.max(1))
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Defines a function `$name` that runs every listed bench target with a
+/// fresh [`Criterion`] (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` invoking each group defined by
+/// [`criterion_group!`](crate::criterion_group).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_pick_correct_percentiles() {
+        let s = FunctionStats::from_samples(
+            "t".into(),
+            (1..=11).map(|i| i * 100).collect(),
+        );
+        assert_eq!(s.samples, 11);
+        assert_eq!(s.median_ns, 600);
+        assert_eq!(s.p10_ns, 200);
+        assert_eq!(s.p90_ns, 1000);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 1100);
+    }
+
+    #[test]
+    fn stats_handle_a_single_sample() {
+        let s = FunctionStats::from_samples("one".into(), vec![42]);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.median_ns, 42);
+        assert_eq!(s.p10_ns, 42);
+        assert_eq!(s.p90_ns, 42);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        let id = BenchmarkId::new("bfs", 4096);
+        assert_eq!(id.id, "bfs/4096");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn bencher_records_at_least_one_sample() {
+        let mut b = Bencher {
+            sample_ns: Vec::new(),
+            target_samples: 3,
+            warm_up: Duration::ZERO,
+            measurement: Duration::from_millis(50),
+        };
+        b.iter(|| 2 + 2);
+        assert!((1..=3).contains(&b.sample_ns.len()));
+    }
+}

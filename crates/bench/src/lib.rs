@@ -1,6 +1,12 @@
-//! Shared fixtures for the CRONO criterion benches: every bench target
-//! regenerates (a fast slice of) one of the paper's tables or figures,
-//! so `cargo bench` exercises the same code paths as `crono <figN>`.
+//! Shared fixtures and the in-tree harness for the CRONO benches: every
+//! bench target regenerates (a fast slice of) one of the paper's tables
+//! or figures, so `cargo bench` exercises the same code paths as
+//! `crono <figN>`. The [`harness`] module supplies the criterion-shaped
+//! measurement machinery (std-only; JSON reports under `results/`).
+
+pub mod harness;
+
+pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion, FunctionStats};
 
 use crono_sim::{SimConfig, SimMachine};
 use crono_suite::{Scale, Workload};

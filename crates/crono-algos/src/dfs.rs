@@ -13,7 +13,7 @@ use crate::graph_view::SharedGraph;
 use crate::{costs, AlgoOutcome};
 use crono_graph::{CsrGraph, VertexId};
 use crono_runtime::{LockSet, Machine, SharedFlags, SharedU64s, ThreadCtx};
-use parking_lot::Mutex;
+use crono_runtime::Mutex;
 
 /// Result of a DFS run.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -11,7 +11,7 @@
 use crate::{costs, AlgoOutcome};
 use crono_graph::gen::TspInstance;
 use crono_runtime::{LockSet, Machine, ReadArray, SharedU64s, ThreadCtx};
-use parking_lot::Mutex;
+use crono_runtime::Mutex;
 
 /// Result of a TSP run.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,6 +1,5 @@
 use crate::Weight;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A Euclidean traveling-salesman instance.
 ///

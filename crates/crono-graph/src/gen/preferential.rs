@@ -1,6 +1,5 @@
 use crate::{CsrGraph, EdgeList, VertexId, Weight};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Barabási–Albert preferential-attachment graph.
 ///

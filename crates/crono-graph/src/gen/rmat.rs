@@ -1,6 +1,5 @@
 use crate::{CsrGraph, EdgeList, VertexId, Weight};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Quadrant probabilities for the recursive-matrix (R-MAT) generator.
 ///
@@ -40,8 +39,26 @@ impl RmatParams {
 
     fn validate(&self) {
         assert!(
-            self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d() >= 0.0,
-            "r-mat probabilities must be non-negative and sum to at most 1"
+            self.a > 0.0,
+            "r-mat probability `a` must be strictly positive (got {})",
+            self.a
+        );
+        assert!(
+            self.b > 0.0,
+            "r-mat probability `b` must be strictly positive (got {}): \
+             b = 0 degenerates the matrix to a block diagonal",
+            self.b
+        );
+        assert!(
+            self.c >= 0.0,
+            "r-mat probability `c` must be non-negative (got {})",
+            self.c
+        );
+        assert!(
+            self.a + self.b + self.c <= 1.0,
+            "r-mat probabilities must sum to at most 1: a + b + c = {} > 1 \
+             leaves no probability mass for quadrant d",
+            self.a + self.b + self.c
         );
         assert!((0.0..1.0).contains(&self.noise), "noise must be in [0, 1)");
     }
@@ -198,6 +215,92 @@ mod tests {
                 b: 0.2,
                 c: 0.2,
                 noise: 0.0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn rejects_probability_sum_above_one() {
+        rmat(
+            4,
+            10,
+            1,
+            RmatParams {
+                a: 0.5,
+                b: 0.4,
+                c: 0.3,
+                noise: 0.0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "`a` must be strictly positive")]
+    fn rejects_zero_a() {
+        rmat(
+            4,
+            10,
+            1,
+            RmatParams {
+                a: 0.0,
+                b: 0.5,
+                c: 0.25,
+                noise: 0.0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "`b` must be strictly positive")]
+    fn rejects_degenerate_zero_b_skew() {
+        // The a>0, b=c=0, d=1-a corner used to pass validation silently.
+        rmat(
+            4,
+            10,
+            1,
+            RmatParams {
+                a: 0.6,
+                b: 0.0,
+                c: 0.0,
+                noise: 0.0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "`c` must be non-negative")]
+    fn rejects_negative_c() {
+        rmat(
+            4,
+            10,
+            1,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: -0.1,
+                noise: 0.0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in [0, 1)")]
+    fn rejects_out_of_range_noise() {
+        rmat(
+            4,
+            10,
+            1,
+            RmatParams {
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+                noise: 1.0,
             },
             0,
         );

@@ -1,6 +1,5 @@
 use crate::{CsrGraph, EdgeList, VertexId, Weight};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Synthetic road network standing in for CRONO's SNAP roadNet inputs.
 ///

@@ -41,6 +41,7 @@ mod matrix;
 pub mod dsu;
 pub mod gen;
 pub mod io;
+pub mod rng;
 pub mod stats;
 
 pub use csr::CsrGraph;

@@ -1,71 +1,109 @@
 //! Property-based tests for the graph substrate.
+//!
+//! Formerly driven by `proptest`; now a seeded loop over the in-tree
+//! [`crono_graph::rng`] PRNG so the suite is deterministic and builds
+//! offline. Every case derives from a fixed seed — a failure reproduces
+//! exactly by rerunning the test.
 
 use crono_graph::dsu::Dsu;
 use crono_graph::gen::{rmat, road_network, tsp_cities, uniform_random, RmatParams};
 use crono_graph::io::{read_dimacs, read_edge_list, write_dimacs, write_edge_list};
+use crono_graph::rng::SmallRng;
 use crono_graph::{CsrGraph, EdgeList};
-use proptest::prelude::*;
 
-fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, u32)>)> {
-    (2..max_n).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1..100u32),
-            0..max_m,
-        );
-        (Just(n), edges)
-    })
+const CASES: u64 = 48;
+
+/// Random vertex count in `2..max_n` plus up to `max_m` random weighted
+/// edges (duplicates and self-loops allowed, like proptest's arbitrary
+/// edge vectors).
+fn arb_edges(rng: &mut SmallRng, max_n: usize, max_m: usize) -> (usize, Vec<(u32, u32, u32)>) {
+    let n = rng.random_range(2..max_n);
+    let m = rng.random_range(0..max_m);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.random_range(0..n as u32),
+                rng.random_range(0..n as u32),
+                rng.random_range(1..100u32),
+            )
+        })
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #[test]
-    fn csr_preserves_every_edge((n, edges) in arb_edges(64, 256)) {
+#[test]
+fn csr_preserves_every_edge() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x11AA + case);
+        let (n, edges) = arb_edges(&mut rng, 64, 256);
         let g = CsrGraph::from_edges(n, edges.clone());
-        prop_assert_eq!(g.num_directed_edges(), edges.len());
+        assert_eq!(g.num_directed_edges(), edges.len());
         for (s, d, w) in edges {
-            prop_assert!(g.neighbors(s).any(|(x, wx)| x == d && wx == w));
+            assert!(g.neighbors(s).any(|(x, wx)| x == d && wx == w));
         }
     }
+}
 
-    #[test]
-    fn csr_degrees_sum_to_edge_count((n, edges) in arb_edges(64, 256)) {
+#[test]
+fn csr_degrees_sum_to_edge_count() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x22BB + case);
+        let (n, edges) = arb_edges(&mut rng, 64, 256);
         let g = CsrGraph::from_edges(n, edges);
         let total: usize = (0..n as u32).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(total, g.num_directed_edges());
+        assert_eq!(total, g.num_directed_edges());
     }
+}
 
-    #[test]
-    fn transpose_is_involutive((n, edges) in arb_edges(32, 128)) {
+#[test]
+fn transpose_is_involutive() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x33CC + case);
+        let (n, edges) = arb_edges(&mut rng, 32, 128);
         let g = CsrGraph::from_edges(n, edges);
-        prop_assert_eq!(g.transpose().transpose(), g);
+        assert_eq!(g.transpose().transpose(), g);
     }
+}
 
-    #[test]
-    fn edge_list_io_round_trips((n, edges) in arb_edges(32, 128)) {
+#[test]
+fn edge_list_io_round_trips() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x44DD + case);
+        let (n, edges) = arb_edges(&mut rng, 32, 128);
         let g = CsrGraph::from_edges(n, edges);
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
         let g2 = read_edge_list(buf.as_slice(), false).unwrap();
         // Round-trip can lose trailing isolated vertices (edge lists have
         // no vertex-count header); edges must survive exactly.
-        prop_assert_eq!(g2.num_directed_edges(), g.num_directed_edges());
+        assert_eq!(g2.num_directed_edges(), g.num_directed_edges());
         for v in 0..g2.num_vertices() as u32 {
             let a: Vec<_> = g.neighbors(v).collect();
             let b: Vec<_> = g2.neighbors(v).collect();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    #[test]
-    fn dimacs_io_round_trips((n, edges) in arb_edges(32, 128)) {
+#[test]
+fn dimacs_io_round_trips() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x55EE + case);
+        let (n, edges) = arb_edges(&mut rng, 32, 128);
         let g = CsrGraph::from_edges(n, edges);
         let mut buf = Vec::new();
         write_dimacs(&g, &mut buf).unwrap();
-        prop_assert_eq!(read_dimacs(buf.as_slice()).unwrap(), g);
+        assert_eq!(read_dimacs(buf.as_slice()).unwrap(), g);
     }
+}
 
-    #[test]
-    fn uniform_generator_is_connected(n in 8usize..128, extra in 0usize..64, seed in 0u64..100) {
-        let extra = extra.min(n * (n - 1) / 2 - (n - 1));
+#[test]
+fn uniform_generator_is_connected() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x66FF + case);
+        let n = rng.random_range(8..128usize);
+        let extra = rng.random_range(0..64usize).min(n * (n - 1) / 2 - (n - 1));
+        let seed = rng.random_range(0..100u64);
         let g = uniform_random(n, n - 1 + extra, 16, seed);
         let mut dsu = Dsu::new(n);
         for v in 0..n as u32 {
@@ -73,12 +111,18 @@ proptest! {
                 dsu.union(v, u);
             }
         }
-        prop_assert_eq!(dsu.num_components(), 1);
+        assert_eq!(dsu.num_components(), 1);
     }
+}
 
-    #[test]
-    fn road_generator_is_connected(rows in 2usize..20, cols in 2usize..20,
-                                   drop in 0.0f64..0.6, seed in 0u64..50) {
+#[test]
+fn road_generator_is_connected() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x7711 + case);
+        let rows = rng.random_range(2..20usize);
+        let cols = rng.random_range(2..20usize);
+        let drop = rng.random_range(0.0..0.6f64);
+        let seed = rng.random_range(0..50u64);
         let g = road_network(rows, cols, 8, drop, 0.05, seed);
         let n = g.num_vertices();
         let mut dsu = Dsu::new(n);
@@ -87,33 +131,48 @@ proptest! {
                 dsu.union(v, u);
             }
         }
-        prop_assert_eq!(dsu.num_components(), 1);
+        assert_eq!(dsu.num_components(), 1);
     }
+}
 
-    #[test]
-    fn rmat_edges_within_range(scale in 3u32..10, m in 1usize..512, seed in 0u64..50) {
+#[test]
+fn rmat_edges_within_range() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x8822 + case);
+        let scale = rng.random_range(3..10u32);
+        let m = rng.random_range(1..512usize);
+        let seed = rng.random_range(0..50u64);
         let g = rmat(scale, m, 8, RmatParams::default(), seed);
-        prop_assert_eq!(g.num_vertices(), 1usize << scale);
-        prop_assert!(g.num_directed_edges() <= 2 * m);
+        assert_eq!(g.num_vertices(), 1usize << scale);
+        assert!(g.num_directed_edges() <= 2 * m);
         // Symmetry
         for v in 0..g.num_vertices() as u32 {
             for (u, w) in g.neighbors(v) {
-                prop_assert!(g.neighbors(u).any(|(x, wx)| x == v && wx == w));
+                assert!(g.neighbors(u).any(|(x, wx)| x == v && wx == w));
             }
         }
     }
+}
 
-    #[test]
-    fn tsp_tour_length_invariant_under_rotation(n in 3usize..9, seed in 0u64..50) {
+#[test]
+fn tsp_tour_length_invariant_under_rotation() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9933 + case);
+        let n = rng.random_range(3..9usize);
+        let seed = rng.random_range(0..50u64);
         let inst = tsp_cities(n, seed);
         let order: Vec<usize> = (0..n).collect();
         let mut rotated = order.clone();
         rotated.rotate_left(1);
-        prop_assert_eq!(inst.tour_length(&order), inst.tour_length(&rotated));
+        assert_eq!(inst.tour_length(&order), inst.tour_length(&rotated));
     }
+}
 
-    #[test]
-    fn dedup_removes_all_duplicates((n, edges) in arb_edges(24, 200)) {
+#[test]
+fn dedup_removes_all_duplicates() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xAA44 + case);
+        let (n, edges) = arb_edges(&mut rng, 24, 200);
         let mut el = EdgeList::new(n);
         el.extend(edges);
         el.dedup();
@@ -121,7 +180,7 @@ proptest! {
         let mut uniq = pairs.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        prop_assert_eq!(pairs.len(), uniq.len());
-        prop_assert!(el.iter().all(|(s, d, _)| s != d));
+        assert_eq!(pairs.len(), uniq.len());
+        assert!(el.iter().all(|(s, d, _)| s != d));
     }
 }

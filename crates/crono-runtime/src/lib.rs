@@ -51,10 +51,14 @@ mod machine;
 mod native;
 mod report;
 mod shared;
+mod sync;
 
 pub use addr::{alloc_region, Addr, Region, LINE_SIZE};
 pub use ctx::ThreadCtx;
 pub use locks::{LockSet, LOCK_EPOCH_CYCLES};
+pub use sync::{
+    CachePadded, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 pub use machine::{Machine, RunOutcome};
 pub use native::{NativeCtx, NativeMachine};
 pub use report::{Breakdown, EnergyCounters, MissStats, RunReport, ThreadReport};

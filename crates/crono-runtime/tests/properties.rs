@@ -1,50 +1,74 @@
 //! Property-based tests for the execution-abstraction crate.
+//!
+//! Formerly driven by `proptest`; now a seeded loop over the in-tree
+//! `crono_graph::rng` PRNG so the suite is deterministic and builds
+//! offline.
 
+use crono_graph::rng::SmallRng;
 use crono_runtime::{
     alloc_region, LockSet, Machine, NativeMachine, SharedF64s, SharedU32s, SharedU64s,
     ThreadCtx, TrackedVec, LINE_SIZE,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn regions_never_overlap(sizes in proptest::collection::vec(1u64..10_000, 1..50)) {
+const CASES: u64 = 32;
+
+#[test]
+fn regions_never_overlap() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB100 + case);
+        let count = rng.random_range(1..50usize);
+        let sizes: Vec<u64> = (0..count).map(|_| rng.random_range(1..10_000u64)).collect();
         let regions: Vec<_> = sizes.iter().map(|&s| alloc_region(s)).collect();
         for (i, a) in regions.iter().enumerate() {
-            prop_assert_eq!(a.base().raw() % LINE_SIZE, 0);
+            assert_eq!(a.base().raw() % LINE_SIZE, 0);
             for b in regions.iter().skip(i + 1) {
                 let a_end = a.base().raw() + a.bytes();
                 let b_end = b.base().raw() + b.bytes();
-                prop_assert!(a_end <= b.base().raw() || b_end <= a.base().raw());
+                assert!(a_end <= b.base().raw() || b_end <= a.base().raw());
             }
         }
     }
+}
 
-    #[test]
-    fn element_addresses_are_within_region(len in 1usize..500, elem in 1u64..16) {
+#[test]
+fn element_addresses_are_within_region() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB200 + case);
+        let len = rng.random_range(1..500usize);
+        let elem = rng.random_range(1..16u64);
         let r = alloc_region(len as u64 * elem);
         for i in 0..len {
             let a = r.addr(i, elem);
-            prop_assert!(a.raw() >= r.base().raw());
-            prop_assert!(a.raw() + elem <= r.base().raw() + r.bytes());
+            assert!(a.raw() >= r.base().raw());
+            assert!(a.raw() + elem <= r.base().raw() + r.bytes());
         }
     }
+}
 
-    #[test]
-    fn shared_u32_concurrent_adds_sum_exactly(
-        threads in 1usize..6, per_thread in 1usize..200,
-    ) {
+#[test]
+fn shared_u32_concurrent_adds_sum_exactly() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB300 + case);
+        let threads = rng.random_range(1..6usize);
+        let per_thread = rng.random_range(1..200usize);
         let arr = SharedU32s::new(1);
         NativeMachine::new(threads).run(|ctx| {
             for _ in 0..per_thread {
                 arr.fetch_add(ctx, 0, 1);
             }
         });
-        prop_assert_eq!(arr.get_plain(0) as usize, threads * per_thread);
+        assert_eq!(arr.get_plain(0) as usize, threads * per_thread);
     }
+}
 
-    #[test]
-    fn shared_f64_adds_commute(values in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+#[test]
+fn shared_f64_adds_commute() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB400 + case);
+        let count = rng.random_range(1..32usize);
+        let values: Vec<f64> = (0..count)
+            .map(|_| rng.random_range(-100.0..100.0f64))
+            .collect();
         let arr = SharedF64s::filled(1, 0.0);
         let expected: f64 = values.iter().sum();
         NativeMachine::new(4).run(|ctx| {
@@ -54,11 +78,16 @@ proptest! {
                 }
             }
         });
-        prop_assert!((arr.get_plain(0) - expected).abs() < 1e-6);
+        assert!((arr.get_plain(0) - expected).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn fetch_min_finds_global_minimum(values in proptest::collection::vec(0u32..10_000, 1..64)) {
+#[test]
+fn fetch_min_finds_global_minimum() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB500 + case);
+        let count = rng.random_range(1..64usize);
+        let values: Vec<u32> = (0..count).map(|_| rng.random_range(0..10_000u32)).collect();
         let arr = SharedU32s::filled(1, u32::MAX);
         let min = *values.iter().min().unwrap();
         NativeMachine::new(4).run(|ctx| {
@@ -68,11 +97,16 @@ proptest! {
                 }
             }
         });
-        prop_assert_eq!(arr.get_plain(0), min);
+        assert_eq!(arr.get_plain(0), min);
     }
+}
 
-    #[test]
-    fn lock_protected_counter_is_exact(threads in 1usize..5, rounds in 1usize..100) {
+#[test]
+fn lock_protected_counter_is_exact() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB600 + case);
+        let threads = rng.random_range(1..5usize);
+        let rounds = rng.random_range(1..100usize);
         let locks = LockSet::new(1);
         let counter = SharedU64s::new(1);
         NativeMachine::new(threads).run(|ctx| {
@@ -83,11 +117,18 @@ proptest! {
                 ctx.unlock(&locks, 0);
             }
         });
-        prop_assert_eq!(counter.get_plain(0) as usize, threads * rounds);
+        assert_eq!(counter.get_plain(0) as usize, threads * rounds);
     }
+}
 
-    #[test]
-    fn tracked_vec_behaves_like_vec(writes in proptest::collection::vec((0usize..32, 0u64..1000), 0..100)) {
+#[test]
+fn tracked_vec_behaves_like_vec() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB700 + case);
+        let count = rng.random_range(0..100usize);
+        let writes: Vec<(usize, u64)> = (0..count)
+            .map(|_| (rng.random_range(0..32usize), rng.random_range(0..1000u64)))
+            .collect();
         NativeMachine::new(1).run(|ctx| {
             let mut tracked = TrackedVec::filled(32, 0u64);
             let mut reference = vec![0u64; 32];
@@ -98,16 +139,20 @@ proptest! {
             assert_eq!(tracked.as_slice(), &reference[..]);
         });
     }
+}
 
-    #[test]
-    fn instruction_counts_are_deterministic_per_thread(ops in 1u32..500) {
+#[test]
+fn instruction_counts_are_deterministic_per_thread() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xB800 + case);
+        let ops = rng.random_range(1..500u32);
         let outcome = NativeMachine::new(3).run(|ctx| {
             ctx.compute(ops);
             ctx.instructions()
         });
         for &count in &outcome.per_thread {
-            prop_assert_eq!(count, ops as u64);
+            assert_eq!(count, ops as u64);
         }
-        prop_assert_eq!(outcome.report.variability(), 0.0);
+        assert_eq!(outcome.report.variability(), 0.0);
     }
 }

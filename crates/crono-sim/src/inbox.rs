@@ -11,8 +11,7 @@
 //! own cursor (pushing 255 messages per broadcast would dominate run
 //! time).
 
-use crossbeam::utils::CachePadded;
-use parking_lot::{Mutex, RwLock};
+use crono_runtime::{CachePadded, Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One coherence message.

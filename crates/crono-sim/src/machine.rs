@@ -18,7 +18,7 @@ use crono_runtime::{
     Addr, Breakdown, EnergyCounters, LockSet, Machine, MissStats, RunOutcome, RunReport,
     ThreadCtx, ThreadReport,
 };
-use parking_lot::Mutex;
+use crono_runtime::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;

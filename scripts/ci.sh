@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the CRONO workspace.
+#
+# Verifies the three properties every PR must preserve:
+#   1. the workspace builds in release mode with the network disabled,
+#   2. the full test suite passes offline,
+#   3. the dependency graph contains only workspace path crates — no
+#      registry (crates.io) dependency can sneak back in.
+#
+# Usage: scripts/ci.sh  (from anywhere inside the repository)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace --benches
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> dependency audit: workspace path crates only"
+# Every node in the resolved graph must be a local path crate, which
+# `cargo tree` renders with the crate's absolute path in parentheses.
+# `(*)` marks de-duplicated repeats of already-printed subtrees.
+non_workspace=$(cargo tree --workspace --edges normal,build,dev --prefix none \
+  | sed 's/ (\*)$//' \
+  | awk 'NF' \
+  | sort -u \
+  | grep -v ' (/' || true)
+if [ -n "$non_workspace" ]; then
+  echo "ERROR: non-workspace (registry) dependencies detected:" >&2
+  echo "$non_workspace" >&2
+  exit 1
+fi
+echo "dependency graph is 100% workspace-local"
+
+echo "==> bench harness smoke run (1 sample per target)"
+CRONO_BENCH_SAMPLES=1 CRONO_BENCH_WARMUP_MS=1 CRONO_BENCH_MEASURE_MS=50 \
+  cargo bench -q -p crono-bench --offline >/dev/null
+echo "bench targets ran; JSON reports under results/"
+
+echo "CI gate passed."
