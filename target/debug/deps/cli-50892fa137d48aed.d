@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-50892fa137d48aed.d: crates/crono-suite/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-50892fa137d48aed: crates/crono-suite/tests/cli.rs
+
+crates/crono-suite/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_crono=/root/repo/target/debug/crono

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crono-0a992b0c6df797f3.d: crates/crono-suite/src/bin/crono.rs
+
+/root/repo/target/debug/deps/crono-0a992b0c6df797f3: crates/crono-suite/src/bin/crono.rs
+
+crates/crono-suite/src/bin/crono.rs:

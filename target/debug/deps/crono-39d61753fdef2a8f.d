@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crono-39d61753fdef2a8f.d: crates/crono-suite/src/bin/crono.rs
+
+/root/repo/target/debug/deps/crono-39d61753fdef2a8f: crates/crono-suite/src/bin/crono.rs
+
+crates/crono-suite/src/bin/crono.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crono-b37bb7961e25e60b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrono-b37bb7961e25e60b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcrono-b37bb7961e25e60b.rmeta: src/lib.rs
+
+src/lib.rs:

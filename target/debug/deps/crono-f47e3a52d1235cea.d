@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crono-f47e3a52d1235cea.d: src/lib.rs
+
+/root/repo/target/debug/deps/crono-f47e3a52d1235cea: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/crono_bench-31ae7c44f63b302f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/crono_bench-31ae7c44f63b302f: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crono_energy-19ad84a004906083.d: crates/crono-energy/src/lib.rs
+
+/root/repo/target/debug/deps/libcrono_energy-19ad84a004906083.rlib: crates/crono-energy/src/lib.rs
+
+/root/repo/target/debug/deps/libcrono_energy-19ad84a004906083.rmeta: crates/crono-energy/src/lib.rs
+
+crates/crono-energy/src/lib.rs:

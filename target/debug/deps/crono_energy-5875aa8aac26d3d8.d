@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crono_energy-5875aa8aac26d3d8.d: crates/crono-energy/src/lib.rs
+
+/root/repo/target/debug/deps/crono_energy-5875aa8aac26d3d8: crates/crono-energy/src/lib.rs
+
+crates/crono-energy/src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/crono_graph-8e06d8d453d0b7e3.d: crates/crono-graph/src/lib.rs crates/crono-graph/src/csr.rs crates/crono-graph/src/edgelist.rs crates/crono-graph/src/error.rs crates/crono-graph/src/matrix.rs crates/crono-graph/src/dsu.rs crates/crono-graph/src/gen/mod.rs crates/crono-graph/src/gen/cities.rs crates/crono-graph/src/gen/preferential.rs crates/crono-graph/src/gen/road.rs crates/crono-graph/src/gen/rmat.rs crates/crono-graph/src/gen/uniform.rs crates/crono-graph/src/gen/catalog.rs crates/crono-graph/src/io.rs crates/crono-graph/src/rng.rs crates/crono-graph/src/stats.rs
+
+/root/repo/target/debug/deps/libcrono_graph-8e06d8d453d0b7e3.rlib: crates/crono-graph/src/lib.rs crates/crono-graph/src/csr.rs crates/crono-graph/src/edgelist.rs crates/crono-graph/src/error.rs crates/crono-graph/src/matrix.rs crates/crono-graph/src/dsu.rs crates/crono-graph/src/gen/mod.rs crates/crono-graph/src/gen/cities.rs crates/crono-graph/src/gen/preferential.rs crates/crono-graph/src/gen/road.rs crates/crono-graph/src/gen/rmat.rs crates/crono-graph/src/gen/uniform.rs crates/crono-graph/src/gen/catalog.rs crates/crono-graph/src/io.rs crates/crono-graph/src/rng.rs crates/crono-graph/src/stats.rs
+
+/root/repo/target/debug/deps/libcrono_graph-8e06d8d453d0b7e3.rmeta: crates/crono-graph/src/lib.rs crates/crono-graph/src/csr.rs crates/crono-graph/src/edgelist.rs crates/crono-graph/src/error.rs crates/crono-graph/src/matrix.rs crates/crono-graph/src/dsu.rs crates/crono-graph/src/gen/mod.rs crates/crono-graph/src/gen/cities.rs crates/crono-graph/src/gen/preferential.rs crates/crono-graph/src/gen/road.rs crates/crono-graph/src/gen/rmat.rs crates/crono-graph/src/gen/uniform.rs crates/crono-graph/src/gen/catalog.rs crates/crono-graph/src/io.rs crates/crono-graph/src/rng.rs crates/crono-graph/src/stats.rs
+
+crates/crono-graph/src/lib.rs:
+crates/crono-graph/src/csr.rs:
+crates/crono-graph/src/edgelist.rs:
+crates/crono-graph/src/error.rs:
+crates/crono-graph/src/matrix.rs:
+crates/crono-graph/src/dsu.rs:
+crates/crono-graph/src/gen/mod.rs:
+crates/crono-graph/src/gen/cities.rs:
+crates/crono-graph/src/gen/preferential.rs:
+crates/crono-graph/src/gen/road.rs:
+crates/crono-graph/src/gen/rmat.rs:
+crates/crono-graph/src/gen/uniform.rs:
+crates/crono-graph/src/gen/catalog.rs:
+crates/crono-graph/src/io.rs:
+crates/crono-graph/src/rng.rs:
+crates/crono-graph/src/stats.rs:

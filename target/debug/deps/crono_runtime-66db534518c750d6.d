@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crono_runtime-66db534518c750d6.d: crates/crono-runtime/src/lib.rs crates/crono-runtime/src/addr.rs crates/crono-runtime/src/ctx.rs crates/crono-runtime/src/locks.rs crates/crono-runtime/src/machine.rs crates/crono-runtime/src/native.rs crates/crono-runtime/src/report.rs crates/crono-runtime/src/shared.rs crates/crono-runtime/src/sync.rs
+
+/root/repo/target/debug/deps/crono_runtime-66db534518c750d6: crates/crono-runtime/src/lib.rs crates/crono-runtime/src/addr.rs crates/crono-runtime/src/ctx.rs crates/crono-runtime/src/locks.rs crates/crono-runtime/src/machine.rs crates/crono-runtime/src/native.rs crates/crono-runtime/src/report.rs crates/crono-runtime/src/shared.rs crates/crono-runtime/src/sync.rs
+
+crates/crono-runtime/src/lib.rs:
+crates/crono-runtime/src/addr.rs:
+crates/crono-runtime/src/ctx.rs:
+crates/crono-runtime/src/locks.rs:
+crates/crono-runtime/src/machine.rs:
+crates/crono-runtime/src/native.rs:
+crates/crono-runtime/src/report.rs:
+crates/crono-runtime/src/shared.rs:
+crates/crono-runtime/src/sync.rs:

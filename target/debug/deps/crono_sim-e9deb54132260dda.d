@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crono_sim-e9deb54132260dda.d: crates/crono-sim/src/lib.rs crates/crono-sim/src/cache.rs crates/crono-sim/src/config.rs crates/crono-sim/src/dram.rs crates/crono-sim/src/inbox.rs crates/crono-sim/src/l1.rs crates/crono-sim/src/l2.rs crates/crono-sim/src/machine.rs crates/crono-sim/src/noc.rs crates/crono-sim/src/sharer.rs
+
+/root/repo/target/debug/deps/crono_sim-e9deb54132260dda: crates/crono-sim/src/lib.rs crates/crono-sim/src/cache.rs crates/crono-sim/src/config.rs crates/crono-sim/src/dram.rs crates/crono-sim/src/inbox.rs crates/crono-sim/src/l1.rs crates/crono-sim/src/l2.rs crates/crono-sim/src/machine.rs crates/crono-sim/src/noc.rs crates/crono-sim/src/sharer.rs
+
+crates/crono-sim/src/lib.rs:
+crates/crono-sim/src/cache.rs:
+crates/crono-sim/src/config.rs:
+crates/crono-sim/src/dram.rs:
+crates/crono-sim/src/inbox.rs:
+crates/crono-sim/src/l1.rs:
+crates/crono-sim/src/l2.rs:
+crates/crono-sim/src/machine.rs:
+crates/crono-sim/src/noc.rs:
+crates/crono-sim/src/sharer.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/crono_suite-7ebeea8855aca103.d: crates/crono-suite/src/lib.rs crates/crono-suite/src/experiments/mod.rs crates/crono-suite/src/experiments/fig1.rs crates/crono-suite/src/experiments/fig2.rs crates/crono-suite/src/experiments/fig34.rs crates/crono-suite/src/experiments/fig5.rs crates/crono-suite/src/experiments/fig6.rs crates/crono-suite/src/experiments/fig78.rs crates/crono-suite/src/experiments/fig9.rs crates/crono-suite/src/experiments/table4.rs crates/crono-suite/src/experiments/tables.rs crates/crono-suite/src/paper.rs crates/crono-suite/src/report.rs crates/crono-suite/src/runner.rs crates/crono-suite/src/scale.rs crates/crono-suite/src/workload.rs
+
+/root/repo/target/debug/deps/crono_suite-7ebeea8855aca103: crates/crono-suite/src/lib.rs crates/crono-suite/src/experiments/mod.rs crates/crono-suite/src/experiments/fig1.rs crates/crono-suite/src/experiments/fig2.rs crates/crono-suite/src/experiments/fig34.rs crates/crono-suite/src/experiments/fig5.rs crates/crono-suite/src/experiments/fig6.rs crates/crono-suite/src/experiments/fig78.rs crates/crono-suite/src/experiments/fig9.rs crates/crono-suite/src/experiments/table4.rs crates/crono-suite/src/experiments/tables.rs crates/crono-suite/src/paper.rs crates/crono-suite/src/report.rs crates/crono-suite/src/runner.rs crates/crono-suite/src/scale.rs crates/crono-suite/src/workload.rs
+
+crates/crono-suite/src/lib.rs:
+crates/crono-suite/src/experiments/mod.rs:
+crates/crono-suite/src/experiments/fig1.rs:
+crates/crono-suite/src/experiments/fig2.rs:
+crates/crono-suite/src/experiments/fig34.rs:
+crates/crono-suite/src/experiments/fig5.rs:
+crates/crono-suite/src/experiments/fig6.rs:
+crates/crono-suite/src/experiments/fig78.rs:
+crates/crono-suite/src/experiments/fig9.rs:
+crates/crono-suite/src/experiments/table4.rs:
+crates/crono-suite/src/experiments/tables.rs:
+crates/crono-suite/src/paper.rs:
+crates/crono-suite/src/report.rs:
+crates/crono-suite/src/runner.rs:
+crates/crono-suite/src/scale.rs:
+crates/crono-suite/src/workload.rs:

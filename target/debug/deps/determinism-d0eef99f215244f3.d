@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d0eef99f215244f3.d: crates/crono-graph/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d0eef99f215244f3: crates/crono-graph/tests/determinism.rs
+
+crates/crono-graph/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a4d600c23b14bafc.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a4d600c23b14bafc: tests/experiments.rs
+
+tests/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-9251d09090f78a82.d: crates/crono-sim/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-9251d09090f78a82: crates/crono-sim/tests/extensions.rs
+
+crates/crono-sim/tests/extensions.rs:

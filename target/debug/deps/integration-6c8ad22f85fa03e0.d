@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-6c8ad22f85fa03e0.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-6c8ad22f85fa03e0: tests/integration.rs
+
+tests/integration.rs:

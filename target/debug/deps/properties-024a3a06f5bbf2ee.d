@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-024a3a06f5bbf2ee.d: crates/crono-algos/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-024a3a06f5bbf2ee: crates/crono-algos/tests/properties.rs
+
+crates/crono-algos/tests/properties.rs:

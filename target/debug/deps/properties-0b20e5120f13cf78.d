@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0b20e5120f13cf78.d: crates/crono-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0b20e5120f13cf78: crates/crono-sim/tests/properties.rs
+
+crates/crono-sim/tests/properties.rs:

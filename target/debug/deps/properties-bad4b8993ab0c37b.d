@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bad4b8993ab0c37b.d: crates/crono-runtime/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bad4b8993ab0c37b: crates/crono-runtime/tests/properties.rs
+
+crates/crono-runtime/tests/properties.rs:

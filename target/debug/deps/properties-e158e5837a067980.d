@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e158e5837a067980.d: crates/crono-graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e158e5837a067980: crates/crono-graph/tests/properties.rs
+
+crates/crono-graph/tests/properties.rs:

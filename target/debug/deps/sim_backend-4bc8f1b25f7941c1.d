@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_backend-4bc8f1b25f7941c1.d: crates/crono-algos/tests/sim_backend.rs
+
+/root/repo/target/debug/deps/sim_backend-4bc8f1b25f7941c1: crates/crono-algos/tests/sim_backend.rs
+
+crates/crono-algos/tests/sim_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-3c11a7ff4ea05c0a.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-3c11a7ff4ea05c0a: examples/design_space.rs
+
+examples/design_space.rs:

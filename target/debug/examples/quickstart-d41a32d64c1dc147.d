@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d41a32d64c1dc147.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d41a32d64c1dc147: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_navigation-6d7104dae59374fc.d: examples/road_navigation.rs
+
+/root/repo/target/debug/examples/road_navigation-6d7104dae59374fc: examples/road_navigation.rs
+
+examples/road_navigation.rs:

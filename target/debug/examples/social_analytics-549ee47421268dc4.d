@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_analytics-549ee47421268dc4.d: examples/social_analytics.rs
+
+/root/repo/target/debug/examples/social_analytics-549ee47421268dc4: examples/social_analytics.rs
+
+examples/social_analytics.rs:

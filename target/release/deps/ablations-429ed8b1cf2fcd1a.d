@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-429ed8b1cf2fcd1a.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-429ed8b1cf2fcd1a: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crono-058db6531d7344c0.d: src/lib.rs
+
+/root/repo/target/release/deps/crono-058db6531d7344c0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crono-7eaa5ae88716f5e1.d: src/lib.rs
+
+/root/repo/target/release/deps/libcrono-7eaa5ae88716f5e1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcrono-7eaa5ae88716f5e1.rmeta: src/lib.rs
+
+src/lib.rs:

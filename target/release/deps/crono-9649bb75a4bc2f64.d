@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crono-9649bb75a4bc2f64.d: crates/crono-suite/src/bin/crono.rs
+
+/root/repo/target/release/deps/crono-9649bb75a4bc2f64: crates/crono-suite/src/bin/crono.rs
+
+crates/crono-suite/src/bin/crono.rs:

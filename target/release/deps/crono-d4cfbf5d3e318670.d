@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crono-d4cfbf5d3e318670.d: crates/crono-suite/src/bin/crono.rs
+
+/root/repo/target/release/deps/crono-d4cfbf5d3e318670: crates/crono-suite/src/bin/crono.rs
+
+crates/crono-suite/src/bin/crono.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/crono_algos-01f3d076a72f592a.d: crates/crono-algos/src/lib.rs crates/crono-algos/src/graph_view.rs crates/crono-algos/src/apsp.rs crates/crono-algos/src/betweenness.rs crates/crono-algos/src/bfs.rs crates/crono-algos/src/community.rs crates/crono-algos/src/connected.rs crates/crono-algos/src/costs.rs crates/crono-algos/src/dfs.rs crates/crono-algos/src/pagerank.rs crates/crono-algos/src/sssp.rs crates/crono-algos/src/triangle.rs crates/crono-algos/src/tsp.rs
+
+/root/repo/target/release/deps/libcrono_algos-01f3d076a72f592a.rlib: crates/crono-algos/src/lib.rs crates/crono-algos/src/graph_view.rs crates/crono-algos/src/apsp.rs crates/crono-algos/src/betweenness.rs crates/crono-algos/src/bfs.rs crates/crono-algos/src/community.rs crates/crono-algos/src/connected.rs crates/crono-algos/src/costs.rs crates/crono-algos/src/dfs.rs crates/crono-algos/src/pagerank.rs crates/crono-algos/src/sssp.rs crates/crono-algos/src/triangle.rs crates/crono-algos/src/tsp.rs
+
+/root/repo/target/release/deps/libcrono_algos-01f3d076a72f592a.rmeta: crates/crono-algos/src/lib.rs crates/crono-algos/src/graph_view.rs crates/crono-algos/src/apsp.rs crates/crono-algos/src/betweenness.rs crates/crono-algos/src/bfs.rs crates/crono-algos/src/community.rs crates/crono-algos/src/connected.rs crates/crono-algos/src/costs.rs crates/crono-algos/src/dfs.rs crates/crono-algos/src/pagerank.rs crates/crono-algos/src/sssp.rs crates/crono-algos/src/triangle.rs crates/crono-algos/src/tsp.rs
+
+crates/crono-algos/src/lib.rs:
+crates/crono-algos/src/graph_view.rs:
+crates/crono-algos/src/apsp.rs:
+crates/crono-algos/src/betweenness.rs:
+crates/crono-algos/src/bfs.rs:
+crates/crono-algos/src/community.rs:
+crates/crono-algos/src/connected.rs:
+crates/crono-algos/src/costs.rs:
+crates/crono-algos/src/dfs.rs:
+crates/crono-algos/src/pagerank.rs:
+crates/crono-algos/src/sssp.rs:
+crates/crono-algos/src/triangle.rs:
+crates/crono-algos/src/tsp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/crono_bench-3092b1b525e36daa.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/crono_bench-3092b1b525e36daa: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crono_energy-9e31bd39edcdf2b4.d: crates/crono-energy/src/lib.rs
+
+/root/repo/target/release/deps/libcrono_energy-9e31bd39edcdf2b4.rlib: crates/crono-energy/src/lib.rs
+
+/root/repo/target/release/deps/libcrono_energy-9e31bd39edcdf2b4.rmeta: crates/crono-energy/src/lib.rs
+
+crates/crono-energy/src/lib.rs:

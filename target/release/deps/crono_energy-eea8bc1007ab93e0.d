@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crono_energy-eea8bc1007ab93e0.d: crates/crono-energy/src/lib.rs
+
+/root/repo/target/release/deps/crono_energy-eea8bc1007ab93e0: crates/crono-energy/src/lib.rs
+
+crates/crono-energy/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/crono_graph-5eb1761d13a35a65.d: crates/crono-graph/src/lib.rs crates/crono-graph/src/csr.rs crates/crono-graph/src/edgelist.rs crates/crono-graph/src/error.rs crates/crono-graph/src/matrix.rs crates/crono-graph/src/dsu.rs crates/crono-graph/src/gen/mod.rs crates/crono-graph/src/gen/cities.rs crates/crono-graph/src/gen/preferential.rs crates/crono-graph/src/gen/road.rs crates/crono-graph/src/gen/rmat.rs crates/crono-graph/src/gen/uniform.rs crates/crono-graph/src/gen/catalog.rs crates/crono-graph/src/io.rs crates/crono-graph/src/rng.rs crates/crono-graph/src/stats.rs
+
+/root/repo/target/release/deps/crono_graph-5eb1761d13a35a65: crates/crono-graph/src/lib.rs crates/crono-graph/src/csr.rs crates/crono-graph/src/edgelist.rs crates/crono-graph/src/error.rs crates/crono-graph/src/matrix.rs crates/crono-graph/src/dsu.rs crates/crono-graph/src/gen/mod.rs crates/crono-graph/src/gen/cities.rs crates/crono-graph/src/gen/preferential.rs crates/crono-graph/src/gen/road.rs crates/crono-graph/src/gen/rmat.rs crates/crono-graph/src/gen/uniform.rs crates/crono-graph/src/gen/catalog.rs crates/crono-graph/src/io.rs crates/crono-graph/src/rng.rs crates/crono-graph/src/stats.rs
+
+crates/crono-graph/src/lib.rs:
+crates/crono-graph/src/csr.rs:
+crates/crono-graph/src/edgelist.rs:
+crates/crono-graph/src/error.rs:
+crates/crono-graph/src/matrix.rs:
+crates/crono-graph/src/dsu.rs:
+crates/crono-graph/src/gen/mod.rs:
+crates/crono-graph/src/gen/cities.rs:
+crates/crono-graph/src/gen/preferential.rs:
+crates/crono-graph/src/gen/road.rs:
+crates/crono-graph/src/gen/rmat.rs:
+crates/crono-graph/src/gen/uniform.rs:
+crates/crono-graph/src/gen/catalog.rs:
+crates/crono-graph/src/io.rs:
+crates/crono-graph/src/rng.rs:
+crates/crono-graph/src/stats.rs:

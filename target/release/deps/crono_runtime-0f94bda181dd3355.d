@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/crono_runtime-0f94bda181dd3355.d: crates/crono-runtime/src/lib.rs crates/crono-runtime/src/addr.rs crates/crono-runtime/src/ctx.rs crates/crono-runtime/src/locks.rs crates/crono-runtime/src/machine.rs crates/crono-runtime/src/native.rs crates/crono-runtime/src/report.rs crates/crono-runtime/src/shared.rs crates/crono-runtime/src/sync.rs
+
+/root/repo/target/release/deps/crono_runtime-0f94bda181dd3355: crates/crono-runtime/src/lib.rs crates/crono-runtime/src/addr.rs crates/crono-runtime/src/ctx.rs crates/crono-runtime/src/locks.rs crates/crono-runtime/src/machine.rs crates/crono-runtime/src/native.rs crates/crono-runtime/src/report.rs crates/crono-runtime/src/shared.rs crates/crono-runtime/src/sync.rs
+
+crates/crono-runtime/src/lib.rs:
+crates/crono-runtime/src/addr.rs:
+crates/crono-runtime/src/ctx.rs:
+crates/crono-runtime/src/locks.rs:
+crates/crono-runtime/src/machine.rs:
+crates/crono-runtime/src/native.rs:
+crates/crono-runtime/src/report.rs:
+crates/crono-runtime/src/shared.rs:
+crates/crono-runtime/src/sync.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/crono_runtime-d01e2dd67e8a62c9.d: crates/crono-runtime/src/lib.rs crates/crono-runtime/src/addr.rs crates/crono-runtime/src/ctx.rs crates/crono-runtime/src/locks.rs crates/crono-runtime/src/machine.rs crates/crono-runtime/src/native.rs crates/crono-runtime/src/report.rs crates/crono-runtime/src/shared.rs crates/crono-runtime/src/sync.rs
+
+/root/repo/target/release/deps/libcrono_runtime-d01e2dd67e8a62c9.rlib: crates/crono-runtime/src/lib.rs crates/crono-runtime/src/addr.rs crates/crono-runtime/src/ctx.rs crates/crono-runtime/src/locks.rs crates/crono-runtime/src/machine.rs crates/crono-runtime/src/native.rs crates/crono-runtime/src/report.rs crates/crono-runtime/src/shared.rs crates/crono-runtime/src/sync.rs
+
+/root/repo/target/release/deps/libcrono_runtime-d01e2dd67e8a62c9.rmeta: crates/crono-runtime/src/lib.rs crates/crono-runtime/src/addr.rs crates/crono-runtime/src/ctx.rs crates/crono-runtime/src/locks.rs crates/crono-runtime/src/machine.rs crates/crono-runtime/src/native.rs crates/crono-runtime/src/report.rs crates/crono-runtime/src/shared.rs crates/crono-runtime/src/sync.rs
+
+crates/crono-runtime/src/lib.rs:
+crates/crono-runtime/src/addr.rs:
+crates/crono-runtime/src/ctx.rs:
+crates/crono-runtime/src/locks.rs:
+crates/crono-runtime/src/machine.rs:
+crates/crono-runtime/src/native.rs:
+crates/crono-runtime/src/report.rs:
+crates/crono-runtime/src/shared.rs:
+crates/crono-runtime/src/sync.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/crono_sim-2153cc4f5181155f.d: crates/crono-sim/src/lib.rs crates/crono-sim/src/cache.rs crates/crono-sim/src/config.rs crates/crono-sim/src/dram.rs crates/crono-sim/src/inbox.rs crates/crono-sim/src/l1.rs crates/crono-sim/src/l2.rs crates/crono-sim/src/machine.rs crates/crono-sim/src/noc.rs crates/crono-sim/src/sharer.rs
+
+/root/repo/target/release/deps/libcrono_sim-2153cc4f5181155f.rlib: crates/crono-sim/src/lib.rs crates/crono-sim/src/cache.rs crates/crono-sim/src/config.rs crates/crono-sim/src/dram.rs crates/crono-sim/src/inbox.rs crates/crono-sim/src/l1.rs crates/crono-sim/src/l2.rs crates/crono-sim/src/machine.rs crates/crono-sim/src/noc.rs crates/crono-sim/src/sharer.rs
+
+/root/repo/target/release/deps/libcrono_sim-2153cc4f5181155f.rmeta: crates/crono-sim/src/lib.rs crates/crono-sim/src/cache.rs crates/crono-sim/src/config.rs crates/crono-sim/src/dram.rs crates/crono-sim/src/inbox.rs crates/crono-sim/src/l1.rs crates/crono-sim/src/l2.rs crates/crono-sim/src/machine.rs crates/crono-sim/src/noc.rs crates/crono-sim/src/sharer.rs
+
+crates/crono-sim/src/lib.rs:
+crates/crono-sim/src/cache.rs:
+crates/crono-sim/src/config.rs:
+crates/crono-sim/src/dram.rs:
+crates/crono-sim/src/inbox.rs:
+crates/crono-sim/src/l1.rs:
+crates/crono-sim/src/l2.rs:
+crates/crono-sim/src/machine.rs:
+crates/crono-sim/src/noc.rs:
+crates/crono-sim/src/sharer.rs:

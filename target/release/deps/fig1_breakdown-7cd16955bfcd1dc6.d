@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_breakdown-7cd16955bfcd1dc6.d: crates/bench/benches/fig1_breakdown.rs
+
+/root/repo/target/release/deps/fig1_breakdown-7cd16955bfcd1dc6: crates/bench/benches/fig1_breakdown.rs
+
+crates/bench/benches/fig1_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_active_vertices-e263cb1397d8bd85.d: crates/bench/benches/fig2_active_vertices.rs
+
+/root/repo/target/release/deps/fig2_active_vertices-e263cb1397d8bd85: crates/bench/benches/fig2_active_vertices.rs
+
+crates/bench/benches/fig2_active_vertices.rs:

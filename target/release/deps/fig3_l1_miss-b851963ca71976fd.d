@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_l1_miss-b851963ca71976fd.d: crates/bench/benches/fig3_l1_miss.rs
+
+/root/repo/target/release/deps/fig3_l1_miss-b851963ca71976fd: crates/bench/benches/fig3_l1_miss.rs
+
+crates/bench/benches/fig3_l1_miss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_hierarchy_miss-52501091afdb1d38.d: crates/bench/benches/fig4_hierarchy_miss.rs
+
+/root/repo/target/release/deps/fig4_hierarchy_miss-52501091afdb1d38: crates/bench/benches/fig4_hierarchy_miss.rs
+
+crates/bench/benches/fig4_hierarchy_miss.rs:

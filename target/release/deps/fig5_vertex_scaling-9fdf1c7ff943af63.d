@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_vertex_scaling-9fdf1c7ff943af63.d: crates/bench/benches/fig5_vertex_scaling.rs
+
+/root/repo/target/release/deps/fig5_vertex_scaling-9fdf1c7ff943af63: crates/bench/benches/fig5_vertex_scaling.rs
+
+crates/bench/benches/fig5_vertex_scaling.rs:

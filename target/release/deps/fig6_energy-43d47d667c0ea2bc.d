@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_energy-43d47d667c0ea2bc.d: crates/bench/benches/fig6_energy.rs
+
+/root/repo/target/release/deps/fig6_energy-43d47d667c0ea2bc: crates/bench/benches/fig6_energy.rs
+
+crates/bench/benches/fig6_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_fig8_ooo-541a81b9e1d6a901.d: crates/bench/benches/fig7_fig8_ooo.rs
+
+/root/repo/target/release/deps/fig7_fig8_ooo-541a81b9e1d6a901: crates/bench/benches/fig7_fig8_ooo.rs
+
+crates/bench/benches/fig7_fig8_ooo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_real_machine-27e6986ea01a9534.d: crates/bench/benches/fig9_real_machine.rs
+
+/root/repo/target/release/deps/fig9_real_machine-27e6986ea01a9534: crates/bench/benches/fig9_real_machine.rs
+
+crates/bench/benches/fig9_real_machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-6b93d69317532065.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-6b93d69317532065: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_graph_variation-d5c365da32c55fd3.d: crates/bench/benches/table4_graph_variation.rs
+
+/root/repo/target/release/deps/table4_graph_variation-d5c365da32c55fd3: crates/bench/benches/table4_graph_variation.rs
+
+crates/bench/benches/table4_graph_variation.rs:
