@@ -225,11 +225,14 @@ impl BenchmarkGroup {
     }
 
     /// Writes the group's JSON report under `results/` and prints its
-    /// path.
+    /// path. The report records the git commit and the bench scale so
+    /// results from different checkouts stay attributable.
     pub fn finish(self) {
         let mut json = String::new();
         let _ = writeln!(json, "{{");
         let _ = writeln!(json, "  \"group\": \"{}\",", escape(&self.name));
+        let _ = writeln!(json, "  \"commit\": \"{}\",", escape(&git_commit()));
+        let _ = writeln!(json, "  \"scale\": \"{}\",", escape(crate::scale().name));
         let _ = writeln!(json, "  \"sample_target\": {},", self.sample_size);
         let _ = writeln!(json, "  \"functions\": [");
         for (i, s) in self.results.iter().enumerate() {
@@ -255,6 +258,21 @@ impl BenchmarkGroup {
             println!("{} -> results/{file}", self.name);
         }
     }
+}
+
+/// The workspace's current git commit, or `"unknown"` outside a git
+/// checkout (results must never fail to write because git is absent).
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn env_usize(var: &str, default: usize) -> usize {
@@ -343,6 +361,15 @@ mod tests {
     #[test]
     fn json_escape_handles_quotes() {
         assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn git_commit_is_full_hash_or_unknown() {
+        let c = git_commit();
+        assert!(
+            c == "unknown" || (c.len() == 40 && c.chars().all(|ch| ch.is_ascii_hexdigit())),
+            "unexpected commit string {c:?}"
+        );
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn parallel<M: Machine>(
         let nthreads = ctx.num_threads();
         let mut depth = 0u32;
         loop {
+            ctx.span_begin("bfs:level");
             let cur = &fronts[(depth as usize) % 2];
             let next = &fronts[(depth as usize + 1) % 2];
             activations.set(ctx, (depth as usize + 2) % 3, 0);
@@ -142,7 +143,9 @@ pub fn parallel<M: Machine>(
                 activations.fetch_add(ctx, (depth as usize + 1) % 3, activated);
             }
             ctx.barrier();
-            if activations.get(ctx, (depth as usize + 1) % 3) == 0 {
+            let frontier_empty = activations.get(ctx, (depth as usize + 1) % 3) == 0;
+            ctx.span_end("bfs:level");
+            if frontier_empty {
                 break;
             }
             depth += 1;

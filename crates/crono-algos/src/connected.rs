@@ -38,6 +38,7 @@ pub fn parallel<M: Machine>(machine: &M, graph: &CsrGraph) -> AlgoOutcome<ConnCo
         let nthreads = ctx.num_threads();
         let mut iter = 0usize;
         loop {
+            ctx.span_begin("conncomp:iter");
             changes.set(ctx, (iter + 2) % 3, 0);
             let mut local_changes = 0u64;
             let mut active = 0u64;
@@ -70,7 +71,9 @@ pub fn parallel<M: Machine>(machine: &M, graph: &CsrGraph) -> AlgoOutcome<ConnCo
             }
             ctx.barrier();
             // Phase 3: convergence check.
-            if changes.get(ctx, (iter + 1) % 3) == 0 {
+            let converged = changes.get(ctx, (iter + 1) % 3) == 0;
+            ctx.span_end("conncomp:iter");
+            if converged {
                 break;
             }
             iter += 1;

@@ -120,6 +120,24 @@ impl Benchmark {
         }
     }
 
+    /// Looks a benchmark up by its [`Benchmark::label`],
+    /// case-insensitively (so CLI users can write `bfs` or `BFS`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crono_algos::Benchmark;
+    ///
+    /// assert_eq!(Benchmark::by_label("bfs"), Some(Benchmark::Bfs));
+    /// assert_eq!(Benchmark::by_label("PageRank"), Some(Benchmark::PageRank));
+    /// assert_eq!(Benchmark::by_label("nope"), None);
+    /// ```
+    pub fn by_label(label: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.label().eq_ignore_ascii_case(label))
+    }
+
     /// The parallelization strategy from Table I.
     pub fn strategy(self) -> &'static str {
         match self {

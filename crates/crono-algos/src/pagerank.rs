@@ -48,6 +48,7 @@ pub fn parallel<M: Machine>(
         let tid = ctx.thread_id();
         let nthreads = ctx.num_threads();
         for _ in 0..iterations {
+            ctx.span_begin("pagerank:iter");
             // Push phase: scatter contributions to neighbors.
             let mut active = 0u64;
             for v in chunk(n, tid, nthreads) {
@@ -81,6 +82,7 @@ pub fn parallel<M: Machine>(
                 sums.set(ctx, v, 0.0);
             }
             ctx.barrier();
+            ctx.span_end("pagerank:iter");
         }
     });
     AlgoOutcome {

@@ -118,6 +118,7 @@ pub fn parallel<M: Machine>(
         let nthreads = ctx.num_threads();
         let mut round = 0usize;
         loop {
+            ctx.span_begin("sssp:round");
             let cur = &fronts[round % 2];
             let next = &fronts[(round + 1) % 2];
             // Prepare the counter two rounds ahead (rotation keeps the
@@ -166,7 +167,9 @@ pub fn parallel<M: Machine>(
                 activations.fetch_add(ctx, (round + 1) % 3, activated);
             }
             ctx.barrier();
-            if activations.get(ctx, (round + 1) % 3) == 0 {
+            let frontier_empty = activations.get(ctx, (round + 1) % 3) == 0;
+            ctx.span_end("sssp:round");
+            if frontier_empty {
                 break;
             }
             round += 1;

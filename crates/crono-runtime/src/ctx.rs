@@ -63,6 +63,32 @@ pub trait ThreadCtx {
     /// load-imbalance metric is instruction-based, §IV-E).
     fn instructions(&self) -> u64;
 
+    /// Opens a named trace span (an algorithm phase such as a BFS level
+    /// or a PageRank iteration). Must be closed by a matching
+    /// [`ThreadCtx::span_end`] on the same thread, in stack order.
+    ///
+    /// The default is a no-op: backends without a tracer attached compile
+    /// this to nothing, so the monomorphized native kernels pay zero
+    /// cost when tracing is off (guarded by a test).
+    #[inline(always)]
+    fn span_begin(&mut self, _name: &'static str) {}
+
+    /// Closes the innermost open span named `name`. Default no-op.
+    #[inline(always)]
+    fn span_end(&mut self, _name: &'static str) {}
+
+    /// Records a point event with a payload value (e.g. a per-phase
+    /// counter sample). Default no-op.
+    #[inline(always)]
+    fn trace_instant(&mut self, _name: &'static str, _value: u64) {}
+
+    /// Whether a tracer is attached — lets kernels skip computing
+    /// expensive event payloads when tracing is off. Default `false`.
+    #[inline(always)]
+    fn tracing(&self) -> bool {
+        false
+    }
+
     /// Convenience: lock striping. Maps an arbitrary index (e.g. a vertex
     /// id) onto a lock of `set`.
     fn lock_for(&mut self, set: &LockSet, key: usize) {

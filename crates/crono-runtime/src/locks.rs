@@ -32,6 +32,11 @@ impl SpinLock {
         }
     }
 
+    /// Acquires the lock only if it is free right now; never spins.
+    pub(crate) fn try_acquire(&self) -> bool {
+        !self.held.swap(true, Ordering::Acquire)
+    }
+
     pub(crate) fn release(&self) {
         self.held.store(false, Ordering::Release);
     }
@@ -120,6 +125,14 @@ impl LockSet {
     /// [`crate::ThreadCtx::lock`] so timing is modeled too.
     pub fn acquire_raw(&self, idx: usize) -> bool {
         self.locks[idx].acquire()
+    }
+
+    /// Acquires the underlying spinlock only if it is free right now
+    /// (never blocks), returning whether the acquisition succeeded.
+    /// Deterministic backends use this to yield their scheduling turn
+    /// instead of spinning while a parked thread holds the lock.
+    pub fn try_acquire_raw(&self, idx: usize) -> bool {
+        self.locks[idx].try_acquire()
     }
 
     /// Releases the underlying spinlock. Calling without holding the lock

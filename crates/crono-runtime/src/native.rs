@@ -1,12 +1,20 @@
 use crate::{
     Addr, LockSet, Machine, RunOutcome, RunReport, ThreadCtx, ThreadReport,
 };
+use crono_trace::{ThreadTracer, TraceConfig};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// The real-machine backend (paper §IV-C / §VI): benchmarks run on host
 /// OS threads at full speed; memory hooks compile to an instruction
 /// counter increment and nothing else.
+///
+/// With [`NativeMachine::with_tracing`] each thread additionally records
+/// algorithm-phase spans, barrier waits, and lock-wait spans into a
+/// `crono-trace` ring buffer (nanosecond timestamps). Without it, the
+/// trace hooks monomorphize to a branch on an always-`None` option for
+/// the low-frequency sync hooks and to *nothing* for the memory hooks,
+/// so the measured kernel is unchanged.
 ///
 /// # Examples
 ///
@@ -21,6 +29,7 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub struct NativeMachine {
     threads: usize,
+    trace: Option<TraceConfig>,
 }
 
 impl NativeMachine {
@@ -32,7 +41,19 @@ impl NativeMachine {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
-        NativeMachine { threads }
+        NativeMachine { threads, trace: None }
+    }
+
+    /// As [`NativeMachine::new`], with per-thread event tracing enabled.
+    /// Each [`ThreadReport`](crate::ThreadReport) of a run then carries a
+    /// `trace` (timestamps in nanoseconds since thread start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_tracing(threads: usize, trace: TraceConfig) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        NativeMachine { threads, trace: Some(trace) }
     }
 }
 
@@ -61,6 +82,7 @@ impl Machine for NativeMachine {
             for tid in 0..self.threads {
                 let body = &body;
                 let barrier = Arc::clone(&barrier);
+                let trace = self.trace;
                 handles.push(scope.spawn(move || {
                     let mut ctx = NativeCtx {
                         tid,
@@ -69,6 +91,7 @@ impl Machine for NativeMachine {
                         barrier,
                         start: Instant::now(),
                         active_samples: Vec::new(),
+                        tracer: trace.map(|c| ThreadTracer::from_config(&c)),
                     };
                     let r = body(&mut ctx);
                     let report = ThreadReport {
@@ -76,6 +99,7 @@ impl Machine for NativeMachine {
                         finish_time: ctx.start.elapsed().as_nanos() as u64,
                         breakdown: Default::default(),
                         active_samples: ctx.active_samples,
+                        trace: ctx.tracer.map(ThreadTracer::finish),
                     };
                     (r, report)
                 }));
@@ -113,6 +137,14 @@ pub struct NativeCtx {
     barrier: Arc<Barrier>,
     start: Instant,
     active_samples: Vec<(u64, u64)>,
+    tracer: Option<ThreadTracer>,
+}
+
+impl NativeCtx {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
 }
 
 impl ThreadCtx for NativeCtx {
@@ -149,7 +181,15 @@ impl ThreadCtx for NativeCtx {
     #[inline]
     fn lock(&mut self, set: &LockSet, idx: usize) {
         self.instructions += 1;
-        set.acquire_raw(idx);
+        if self.tracer.is_some() {
+            let t0 = self.now();
+            set.acquire_raw(idx);
+            let dur = self.now().saturating_sub(t0);
+            let tr = self.tracer.as_mut().expect("checked above");
+            tr.complete("sync", "lock_wait", t0, dur);
+        } else {
+            set.acquire_raw(idx);
+        }
     }
 
     #[inline]
@@ -160,7 +200,15 @@ impl ThreadCtx for NativeCtx {
 
     fn barrier(&mut self) {
         self.instructions += 1;
-        self.barrier.wait();
+        if self.tracer.is_some() {
+            let t0 = self.now();
+            self.barrier.wait();
+            let dur = self.now().saturating_sub(t0);
+            let tr = self.tracer.as_mut().expect("checked above");
+            tr.complete("sync", "barrier_wait", t0, dur);
+        } else {
+            self.barrier.wait();
+        }
     }
 
     fn record_active(&mut self, active: u64) {
@@ -171,6 +219,38 @@ impl ThreadCtx for NativeCtx {
     #[inline(always)]
     fn instructions(&self) -> u64 {
         self.instructions
+    }
+
+    #[inline]
+    fn span_begin(&mut self, name: &'static str) {
+        if self.tracer.is_some() {
+            let ts = self.now();
+            self.tracer.as_mut().expect("checked above").begin("algo", name, ts);
+        }
+    }
+
+    #[inline]
+    fn span_end(&mut self, name: &'static str) {
+        if self.tracer.is_some() {
+            let ts = self.now();
+            self.tracer.as_mut().expect("checked above").end("algo", name, ts);
+        }
+    }
+
+    #[inline]
+    fn trace_instant(&mut self, name: &'static str, value: u64) {
+        if self.tracer.is_some() {
+            let ts = self.now();
+            self.tracer
+                .as_mut()
+                .expect("checked above")
+                .instant("algo", name, ts, value);
+        }
+    }
+
+    #[inline(always)]
+    fn tracing(&self) -> bool {
+        self.tracer.is_some()
     }
 }
 
@@ -218,5 +298,43 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         NativeMachine::new(0);
+    }
+
+    #[test]
+    fn untraced_runs_carry_no_trace() {
+        let m = NativeMachine::new(2);
+        let outcome = m.run(|ctx| {
+            ctx.span_begin("phase");
+            ctx.compute(10);
+            ctx.span_end("phase");
+            ctx.tracing()
+        });
+        assert_eq!(outcome.per_thread, vec![false, false]);
+        assert!(outcome.report.threads.iter().all(|t| t.trace.is_none()));
+    }
+
+    #[test]
+    fn traced_runs_record_spans_and_sync() {
+        let m = NativeMachine::with_tracing(3, TraceConfig::default());
+        let locks = LockSet::new(1);
+        let outcome = m.run(|ctx| {
+            ctx.span_begin("phase");
+            ctx.lock(&locks, 0);
+            ctx.compute(5);
+            ctx.unlock(&locks, 0);
+            ctx.barrier();
+            ctx.trace_instant("sample", 42);
+            ctx.span_end("phase");
+            ctx.tracing()
+        });
+        assert_eq!(outcome.per_thread, vec![true, true, true]);
+        for t in &outcome.report.threads {
+            let trace = t.trace.as_ref().expect("tracing enabled");
+            let names: Vec<_> = trace.events.iter().map(|e| e.name).collect();
+            for needle in ["phase", "lock_wait", "barrier_wait", "sample"] {
+                assert!(names.contains(&needle), "missing {needle}: {names:?}");
+            }
+            assert_eq!(trace.dropped, 0);
+        }
     }
 }

@@ -165,6 +165,10 @@ pub struct ThreadReport {
     /// `(time, active_vertices)` samples recorded via
     /// [`crate::ThreadCtx::record_active`].
     pub active_samples: Vec<(u64, u64)>,
+    /// This thread's event trace, when the backend ran with tracing
+    /// enabled (`None` on untraced runs — the common, zero-overhead
+    /// case).
+    pub trace: Option<crono_trace::ThreadTrace>,
 }
 
 /// The aggregate result of one [`crate::Machine::run`].

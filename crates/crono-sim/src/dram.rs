@@ -15,6 +15,15 @@ pub const DRAM_EPOCH_SLOTS: usize = 32;
 /// Queueing delay cap (bounds pathological overload).
 const MAX_QUEUE_DELAY: u64 = 4 * DRAM_EPOCH_CYCLES;
 
+/// Outcome of one DRAM line access.
+#[derive(Debug, Clone, Copy)]
+pub struct DramAccess {
+    /// Cycle the data is available at the controller.
+    pub ready: u64,
+    /// Bandwidth-queueing delay paid (0 when the epoch had headroom).
+    pub queued: u64,
+}
+
 /// The DRAM subsystem.
 #[derive(Debug)]
 pub struct Dram {
@@ -56,6 +65,12 @@ impl Dram {
     /// `arrive`; returns the cycle data is available at the controller.
     /// Epoch overload models the 5 GBps bandwidth limit.
     pub fn access(&self, ctrl: usize, arrive: u64) -> u64 {
+        self.access_timed(ctrl, arrive).ready
+    }
+
+    /// As [`Dram::access`], additionally reporting the queueing delay the
+    /// access paid (for tracing).
+    pub fn access_timed(&self, ctrl: usize, arrive: u64) -> DramAccess {
         self.accesses.fetch_add(1, Ordering::Relaxed);
         let epoch = arrive / DRAM_EPOCH_CYCLES;
         let cell = &self.slots[ctrl * DRAM_EPOCH_SLOTS + (epoch as usize % DRAM_EPOCH_SLOTS)];
@@ -75,7 +90,10 @@ impl Dram {
         };
         let over_lines = (occupied + 1).saturating_sub(self.lines_per_epoch);
         let delay = (over_lines * self.service).min(MAX_QUEUE_DELAY);
-        arrive + delay + self.latency
+        DramAccess {
+            ready: arrive + delay + self.latency,
+            queued: delay,
+        }
     }
 
     /// Total line transfers so far.

@@ -52,11 +52,12 @@ mod l1;
 mod l2;
 mod machine;
 mod noc;
+mod sequencer;
 mod sharer;
 
 pub use cache::SetAssocCache;
 pub use config::{CacheConfig, CoreModel, DramConfig, MeshConfig, RoutingPolicy, SimConfig};
-pub use dram::Dram;
+pub use dram::{Dram, DramAccess};
 pub use l1::{L1Cache, L1Lookup, L1State, MissClass};
 pub use l2::{home_of, DirEntry, HomeLine, L2Slice, VictimInfo, HOME_EPOCH_CYCLES};
 pub use machine::{SimCtx, SimMachine};

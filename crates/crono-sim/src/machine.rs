@@ -7,6 +7,13 @@
 //! meet at synchronization points — the same *lax synchronization* the
 //! Graphite paper describes, which is what lets a 256-core simulation run
 //! on a laptop.
+//!
+//! With [`SimMachine::with_tracing`] the run additionally records a
+//! `crono-trace` event stream (algorithm phases, lock and barrier waits,
+//! L1 miss classes, directory invalidations, NoC flit traffic, DRAM
+//! queueing) timestamped in simulated cycles — and switches the lax
+//! scheduling for the deterministic [`crate::sequencer::Sequencer`], so
+//! the same seed and configuration always produce a byte-identical trace.
 
 use crate::config::SimConfig;
 use crate::dram::Dram;
@@ -14,11 +21,13 @@ use crate::inbox::{CoherenceMsg, Inboxes};
 use crate::l1::{L1Cache, L1Lookup, L1State, MissClass};
 use crate::l2::{home_of, L2Slice};
 use crate::noc::Mesh;
+use crate::sequencer::Sequencer;
 use crono_runtime::{
     Addr, Breakdown, EnergyCounters, LockSet, Machine, MissStats, RunOutcome, RunReport,
     ThreadCtx, ThreadReport,
 };
 use crono_runtime::Mutex;
+use crono_trace::{ThreadTracer, TraceConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -43,6 +52,7 @@ use std::time::Instant;
 pub struct SimMachine {
     config: SimConfig,
     threads: usize,
+    trace: Option<TraceConfig>,
 }
 
 impl SimMachine {
@@ -61,7 +71,23 @@ impl SimMachine {
             "cannot run {threads} threads on {} cores",
             config.num_cores
         );
-        SimMachine { config, threads }
+        SimMachine { config, threads, trace: None }
+    }
+
+    /// As [`SimMachine::new`], with per-thread event tracing enabled.
+    /// Each [`ThreadReport`](crono_runtime::ThreadReport) then carries a
+    /// trace timestamped in simulated cycles, and the run executes under
+    /// the deterministic sequencer: shared simulator state is touched in
+    /// `(clock, thread id)` order, so identical inputs yield identical
+    /// traces — at the cost of serializing the host threads.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SimMachine::new`].
+    pub fn with_tracing(config: SimConfig, threads: usize, trace: TraceConfig) -> Self {
+        let mut m = Self::new(config, threads);
+        m.trace = Some(trace);
+        m
     }
 
     /// The architectural configuration in force.
@@ -86,7 +112,11 @@ impl Machine for SimMachine {
         F: Fn(&mut Self::Ctx) -> R + Sync,
         R: Send,
     {
-        let shared = Arc::new(SimShared::new(&self.config, self.threads));
+        let shared = Arc::new(SimShared::new(
+            &self.config,
+            self.threads,
+            self.trace.is_some(),
+        ));
         let start = Instant::now();
         let mut results: Vec<Option<(R, ThreadReport, MissStats, EnergyCounters)>> = Vec::new();
         results.resize_with(self.threads, || None);
@@ -95,8 +125,9 @@ impl Machine for SimMachine {
             for tid in 0..self.threads {
                 let body = &body;
                 let shared = Arc::clone(&shared);
+                let trace = self.trace;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = SimCtx::new(shared, tid);
+                    let mut ctx = SimCtx::new(shared, tid, trace);
                     let r = body(&mut ctx);
                     let (report, misses, energy) = ctx.finish();
                     (r, report, misses, energy)
@@ -144,10 +175,12 @@ struct SimShared {
     barrier_slots: [AtomicU64; 4],
     /// Core index each thread is pinned to.
     core_map: Vec<usize>,
+    /// Deterministic turn-taking for traced runs (`None` ⇒ lax mode).
+    seq: Option<Sequencer>,
 }
 
 impl SimShared {
-    fn new(config: &SimConfig, threads: usize) -> Self {
+    fn new(config: &SimConfig, threads: usize, traced: bool) -> Self {
         let stride = config.num_cores / threads;
         SimShared {
             config: config.clone(),
@@ -160,6 +193,7 @@ impl SimShared {
             barrier: Barrier::new(threads),
             barrier_slots: Default::default(),
             core_map: (0..threads).map(|t| t * stride).collect(),
+            seq: traced.then(|| Sequencer::new(threads)),
         }
     }
 }
@@ -208,10 +242,11 @@ pub struct SimCtx {
     /// never queues behind itself.
     my_bookings: std::collections::HashMap<u64, (u64, u64)>,
     active_samples: Vec<(u64, u64)>,
+    tracer: Option<ThreadTracer>,
 }
 
 impl SimCtx {
-    fn new(shared: Arc<SimShared>, tid: usize) -> Self {
+    fn new(shared: Arc<SimShared>, tid: usize, trace: Option<TraceConfig>) -> Self {
         let core = shared.core_map[tid];
         let l1 = L1Cache::new(&shared.config);
         let mlp = shared.config.core.max_outstanding_misses();
@@ -234,6 +269,16 @@ impl SimCtx {
             held_since: std::collections::HashMap::new(),
             my_bookings: std::collections::HashMap::new(),
             active_samples: Vec::new(),
+            tracer: trace.map(|c| ThreadTracer::from_config(&c)),
+        }
+    }
+
+    /// Waits for this thread's deterministic turn before a hook touches
+    /// shared simulator state. A no-op in lax (untraced) mode.
+    #[inline]
+    fn sync_turn(&self) {
+        if let Some(seq) = &self.shared.seq {
+            seq.turn(self.tid, self.clock);
         }
     }
 
@@ -249,6 +294,11 @@ impl SimCtx {
 
     fn finish(mut self) -> (ThreadReport, MissStats, EnergyCounters) {
         self.drain_window();
+        // Leave the deterministic rotation first: threads finishing at
+        // different simulated times must not stall the still-running ones.
+        if let Some(seq) = &self.shared.seq {
+            seq.done(self.tid);
+        }
         self.energy.l1i_accesses = self.instructions;
         self.energy.l1d_accesses = self.misses.l1d_accesses;
         let report = ThreadReport {
@@ -256,6 +306,7 @@ impl SimCtx {
             finish_time: self.clock,
             breakdown: self.breakdown,
             active_samples: self.active_samples,
+            trace: self.tracer.map(ThreadTracer::finish),
         };
         (report, self.misses, self.energy)
     }
@@ -295,6 +346,9 @@ impl SimCtx {
     // The memory-access state machine.
 
     fn mem_op(&mut self, addr: Addr, write: bool, serialize: bool) {
+        // Inboxes, home slices, the mesh, and DRAM are shared: traced
+        // runs serialize here in deterministic `(clock, tid)` order.
+        self.sync_turn();
         self.instructions += 1;
         self.misses.l1d_accesses += 1;
         self.drain_coherence();
@@ -315,6 +369,14 @@ impl SimCtx {
             MissClass::Cold => self.misses.cold_misses += 1,
             MissClass::Capacity => self.misses.capacity_misses += 1,
             MissClass::Sharing => self.misses.sharing_misses += 1,
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            let name = match class {
+                MissClass::Cold => "l1_miss_cold",
+                MissClass::Capacity => "l1_miss_capacity",
+                MissClass::Sharing => "l1_miss_sharing",
+            };
+            tr.instant("mem", name, self.clock, line);
         }
         if serialize {
             // Atomic RMWs order the pipeline: everything older retires
@@ -414,6 +476,13 @@ impl SimCtx {
         let ctrl = cfg.control_flits();
         let data = cfg.data_flits();
 
+        // Trace bookkeeping for this transaction (dead weight in lax mode).
+        let flits_before = self.energy.router_flit_hops;
+        let mut invalidations = 0u64;
+        let mut downgrades = 0u64;
+        let mut broadcast = false;
+        let mut dram_queued: Option<u64> = None;
+
         let req = shared.mesh.traverse(self.core, home, issue, ctrl);
         self.note_traffic(req.flit_hops);
 
@@ -488,7 +557,9 @@ impl SimCtx {
                 let (c, ccore) = shared.dram.controller_for(line);
                 let go = shared.mesh.traverse(home, ccore, t, ctrl);
                 self.note_traffic(go.flit_hops);
-                let ready = shared.dram.access(c, go.arrival);
+                let acc = shared.dram.access_timed(c, go.arrival);
+                dram_queued = Some(acc.queued);
+                let ready = acc.ready;
                 self.energy.dram_accesses += 1;
                 let back = shared.mesh.traverse(ccore, home, ready, data);
                 self.note_traffic(back.flit_hops);
@@ -517,6 +588,7 @@ impl SimCtx {
                                 downgrade: false,
                             },
                         );
+                        invalidations += 1;
                         entry.dirty = true;
                     }
                 }
@@ -543,6 +615,7 @@ impl SimCtx {
                                         downgrade: false,
                                     },
                                 );
+                                invalidations += 1;
                             }
                             sharers_time += done - t;
                             t = done;
@@ -558,6 +631,7 @@ impl SimCtx {
                         // line we are about to install.
                         self.drain_coherence();
                         shared.inboxes.push_broadcast(line);
+                        broadcast = true;
                         self.broadcast_cursor += 1;
                         sharers_time += rt;
                         t += rt;
@@ -584,6 +658,7 @@ impl SimCtx {
                                 downgrade: true,
                             },
                         );
+                        downgrades += 1;
                         entry.sharers.add(o);
                         entry.dirty = true;
                         serializes = true;
@@ -612,6 +687,25 @@ impl SimCtx {
             .mesh
             .traverse(home, self.core, reply_depart, reply_flits);
         self.note_traffic(reply.flit_hops);
+
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.instant("noc", "noc_flits", issue, self.energy.router_flit_hops - flits_before);
+            if waiting > 0 {
+                tr.instant("mem", "home_queue", issue, waiting);
+            }
+            if let Some(queued) = dram_queued {
+                tr.instant("dram", "dram_access", issue, queued);
+            }
+            if invalidations > 0 {
+                tr.instant("coherence", "dir_invalidate", issue, invalidations);
+            }
+            if downgrades > 0 {
+                tr.instant("coherence", "dir_downgrade", issue, downgrades);
+            }
+            if broadcast {
+                tr.instant("coherence", "dir_broadcast", issue, 1);
+            }
+        }
 
         let l2_lat = cfg.l2.latency;
         MissTiming {
@@ -681,7 +775,20 @@ impl ThreadCtx for SimCtx {
         // The lock word itself ping-pongs between contenders — model the
         // coherence traffic of the atomic acquire.
         self.mem_op(set.addr(idx), true, true);
-        let contended = set.acquire_raw(idx);
+        let contended = if let Some(seq) = &self.shared.seq {
+            // Deterministic mode: spinning would deadlock (the holder
+            // cannot take a turn while we hold ours), so yield the turn
+            // and park on the lock word until the holder's unlock wakes
+            // us; waiters then re-contend in `(clock, tid)` order.
+            let mut contended = false;
+            while !set.try_acquire_raw(idx) {
+                contended = true;
+                seq.block_on(self.tid, set.addr(idx).raw());
+            }
+            contended
+        } else {
+            set.acquire_raw(idx)
+        };
         let mut wait = 0;
         // Align to the previous holder's release only when the
         // acquisition truly contended (the holder ran concurrently);
@@ -703,6 +810,9 @@ impl ThreadCtx for SimCtx {
         let overhead = self.shared.config.lock_overhead;
         self.breakdown.synchronization += wait + overhead;
         self.clock += wait + overhead;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.instant("sync", "lock_acquire", self.clock, wait);
+        }
         self.held_since.insert(set.addr(idx).raw(), self.clock);
     }
 
@@ -719,13 +829,20 @@ impl ThreadCtx for SimCtx {
             } else {
                 *mine = (epoch, hold);
             }
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.complete("sync", "lock_hold", acquired_at, self.clock - acquired_at);
+            }
         }
         set.set_release_clock(idx, self.clock);
         set.release_raw(idx);
+        if let Some(seq) = &self.shared.seq {
+            seq.wake(set.addr(idx).raw());
+        }
     }
 
     fn barrier(&mut self) {
         self.drain_window();
+        self.sync_turn();
         self.instructions += 1;
         let arrive = self.clock;
         let g = self.generation as usize;
@@ -734,6 +851,12 @@ impl ThreadCtx for SimCtx {
         // writers cannot arrive until barrier g+1 has fully passed.
         self.shared.barrier_slots[(g + 2) % 4].store(0, Ordering::Release);
         self.shared.barrier_slots[g % 4].fetch_max(arrive, Ordering::AcqRel);
+        // Deterministic mode: release the run token across the
+        // rendezvous (the threads still heading here need it to arrive),
+        // and rejoin collectively so no thread races ahead of the rest.
+        if let Some(seq) = &self.shared.seq {
+            seq.barrier_wait(self.tid);
+        }
         self.shared.barrier.wait();
         let max_clock = self.shared.barrier_slots[g % 4].load(Ordering::Acquire);
         self.generation += 1;
@@ -741,6 +864,12 @@ impl ThreadCtx for SimCtx {
         debug_assert!(max_clock >= arrive);
         self.breakdown.synchronization += (max_clock - arrive) + overhead;
         self.clock = max_clock + overhead;
+        if let Some(seq) = &self.shared.seq {
+            seq.turn(self.tid, self.clock);
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.complete("sync", "barrier_wait", arrive, self.clock - arrive);
+        }
     }
 
     fn record_active(&mut self, active: u64) {
@@ -749,6 +878,31 @@ impl ThreadCtx for SimCtx {
 
     fn instructions(&self) -> u64 {
         self.instructions
+    }
+
+    fn span_begin(&mut self, name: &'static str) {
+        let ts = self.clock;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.begin("algo", name, ts);
+        }
+    }
+
+    fn span_end(&mut self, name: &'static str) {
+        let ts = self.clock;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.end("algo", name, ts);
+        }
+    }
+
+    fn trace_instant(&mut self, name: &'static str, value: u64) {
+        let ts = self.clock;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.instant("algo", name, ts, value);
+        }
+    }
+
+    fn tracing(&self) -> bool {
+        self.tracer.is_some()
     }
 }
 
@@ -1008,5 +1162,95 @@ mod tests {
         let m = SimMachine::new(SimConfig::tiny(16), 4);
         let outcome = m.run(|ctx| ctx.core());
         assert_eq!(outcome.per_thread, vec![0, 4, 8, 12]);
+    }
+
+    /// A small kernel touching every event source: shared-counter
+    /// contention, locks, barriers, and phases.
+    fn traced_kernel(ctx: &mut SimCtx, locks: &LockSet, counter: &SharedU64s) {
+        ctx.span_begin("phase");
+        for _ in 0..4 {
+            ctx.lock(locks, 0);
+            let v = counter.get(ctx, 0);
+            ctx.compute(7 * (1 + ctx.thread_id() as u32));
+            counter.set(ctx, 0, v + 1);
+            ctx.unlock(locks, 0);
+            ctx.barrier();
+        }
+        ctx.span_end("phase");
+    }
+
+    fn run_traced() -> Vec<crono_trace::ThreadTrace> {
+        let m = SimMachine::with_tracing(
+            SimConfig::tiny(16),
+            4,
+            crono_trace::TraceConfig::default(),
+        );
+        let locks = LockSet::new(1);
+        let counter = SharedU64s::new(1);
+        let outcome = m.run(|ctx| traced_kernel(ctx, &locks, &counter));
+        assert_eq!(counter.get_plain(0), 16, "sequencer preserves correctness");
+        outcome
+            .report
+            .threads
+            .iter()
+            .map(|t| t.trace.clone().expect("traced"))
+            .collect()
+    }
+
+    #[test]
+    fn traced_run_records_all_event_sources() {
+        for trace in &run_traced() {
+            let names: Vec<_> = trace.events.iter().map(|e| e.name).collect();
+            for needle in ["phase", "lock_hold", "barrier_wait", "l1_miss_cold", "noc_flits"] {
+                assert!(names.contains(&needle), "missing {needle}: {names:?}");
+            }
+            assert_eq!(trace.dropped, 0);
+        }
+    }
+
+    /// Determinism must hold across *processes* (that is how `crono
+    /// trace` is invoked): symbolic addresses come from a process-global
+    /// bump allocator, so a second in-process run sees shifted lines and
+    /// legitimately different home slices. The test therefore re-executes
+    /// itself in child-mode twice and compares the full event streams.
+    #[test]
+    fn traced_run_is_deterministic_across_processes() {
+        if std::env::var_os("CRONO_DET_CHILD").is_some() {
+            for (tid, trace) in run_traced().iter().enumerate() {
+                for e in &trace.events {
+                    println!("EV {tid} {} {} {} {:?}", e.ts, e.name, e.arg, e.kind);
+                }
+            }
+            return;
+        }
+        let exe = std::env::current_exe().expect("test binary path");
+        let child = || {
+            let out = std::process::Command::new(&exe)
+                .args([
+                    "--exact",
+                    "machine::tests::traced_run_is_deterministic_across_processes",
+                    "--nocapture",
+                    "--test-threads=1",
+                ])
+                .env("CRONO_DET_CHILD", "1")
+                .output()
+                .expect("spawn child test process");
+            assert!(out.status.success(), "child failed: {out:?}");
+            let stdout = String::from_utf8(out.stdout).expect("utf8");
+            let events: Vec<&str> = stdout
+                .lines()
+                .filter(|l| l.starts_with("EV "))
+                .collect();
+            assert!(!events.is_empty(), "child produced no events");
+            events.join("\n")
+        };
+        assert_eq!(child(), child(), "event streams byte-identical");
+    }
+
+    #[test]
+    fn untraced_sim_reports_no_trace() {
+        let m = machine(2);
+        let outcome = m.run(|ctx| ctx.compute(10));
+        assert!(outcome.report.threads.iter().all(|t| t.trace.is_none()));
     }
 }

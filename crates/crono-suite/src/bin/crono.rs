@@ -1,10 +1,13 @@
 //! The `crono` CLI: regenerates the paper's tables and figures.
 
+use crono_algos::Benchmark;
 use crono_energy::EnergyModel;
 use crono_sim::SimConfig;
 use crono_suite::experiments::{fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables};
 use crono_suite::runner::Sweep;
+use crono_suite::trace::{run_traced, TraceBackend};
 use crono_suite::{Scale, Table};
+use crono_trace::TraceConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -12,7 +15,9 @@ const USAGE: &str = "\
 crono — regenerate the CRONO (IISWC 2015) tables and figures
 
 USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
-             [--out DIR] [--quiet]
+             [--out DIR] [--trace DIR] [--quiet]
+       crono trace --bench <NAME> [--threads N] [--scale test|small|paper]
+             [--backend sim|native] [--out FILE] [--capacity N] [--quiet]
 
 COMMANDS:
   table1   Benchmarks and parallelizations
@@ -30,12 +35,18 @@ COMMANDS:
   fig9     Real-machine speedups (native threads)
   compare  Paper-vs-measured best speedups + qualitative claims
   all      Everything above (shares simulator sweeps)
+  trace    One traced run -> Chrome trace JSON (Perfetto-loadable)
+
+`--trace DIR` re-runs each swept benchmark at its best thread count with
+tracing enabled and writes one trace JSON per benchmark into DIR
+(sweep-based commands only: fig1-fig4, fig6, compare, all).
 ";
 
 struct Options {
     command: String,
     scale: Scale,
     out: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
     progress: bool,
 }
 
@@ -44,6 +55,7 @@ fn parse_args() -> Result<Options, String> {
     let command = args.next().ok_or_else(|| USAGE.to_string())?;
     let mut scale = Scale::small();
     let mut out = None;
+    let mut trace_dir = None;
     let mut progress = true;
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -54,6 +66,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--paper-scale" => scale = Scale::paper(),
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--trace" => {
+                trace_dir = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
             "--quiet" => progress = false,
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
@@ -62,8 +77,115 @@ fn parse_args() -> Result<Options, String> {
         command,
         scale,
         out,
+        trace_dir,
         progress,
     })
+}
+
+/// Options of the `crono trace` subcommand.
+struct TraceOptions {
+    bench: Benchmark,
+    threads: usize,
+    scale: Scale,
+    backend: TraceBackend,
+    out: PathBuf,
+    capacity: usize,
+    progress: bool,
+}
+
+fn parse_trace_args(mut args: impl Iterator<Item = String>) -> Result<TraceOptions, String> {
+    let mut bench = None;
+    let mut threads = 16usize;
+    let mut scale = Scale::test();
+    let mut backend = TraceBackend::Sim;
+    let mut out = PathBuf::from("trace.json");
+    let mut capacity = TraceConfig::default().capacity;
+    let mut progress = true;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--bench" => {
+                let name = args.next().ok_or("--bench needs a value")?;
+                bench = Some(
+                    Benchmark::by_label(&name)
+                        .ok_or_else(|| format!("unknown benchmark {name:?} (e.g. bfs, pagerank)"))?,
+                );
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&t: &usize| t > 0)
+                    .ok_or_else(|| format!("invalid thread count {v:?}"))?;
+            }
+            "--scale" => {
+                let name = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::by_name(&name)
+                    .ok_or_else(|| format!("unknown scale {name:?} (test|small|paper)"))?;
+            }
+            "--backend" => {
+                let name = args.next().ok_or("--backend needs a value")?;
+                backend = TraceBackend::by_name(&name)
+                    .ok_or_else(|| format!("unknown backend {name:?} (sim|native)"))?;
+            }
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a value")?),
+            "--capacity" => {
+                let v = args.next().ok_or("--capacity needs a value")?;
+                capacity = v
+                    .parse()
+                    .ok()
+                    .filter(|&c: &usize| c > 0)
+                    .ok_or_else(|| format!("invalid capacity {v:?}"))?;
+            }
+            "--quiet" => progress = false,
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(TraceOptions {
+        bench: bench.ok_or("trace needs --bench <NAME>")?,
+        threads,
+        scale,
+        backend,
+        out,
+        capacity,
+        progress,
+    })
+}
+
+fn trace_command(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_trace_args(args)?;
+    let sim_config = SimConfig::default();
+    if opts.backend == TraceBackend::Sim && opts.threads > sim_config.num_cores {
+        return Err(format!(
+            "{} threads exceed the simulated machine's {} cores",
+            opts.threads, sim_config.num_cores
+        ));
+    }
+    if opts.progress {
+        eprintln!(
+            "[trace] {} on {} ({} threads, scale {})",
+            opts.bench,
+            opts.backend.name(),
+            opts.threads,
+            opts.scale.name
+        );
+    }
+    let trace = run_traced(
+        opts.bench,
+        &opts.scale,
+        opts.threads,
+        opts.backend,
+        &sim_config,
+        &TraceConfig::with_capacity(opts.capacity),
+    );
+    if let Some(dir) = opts.out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&opts.out, trace.to_chrome_json())
+        .map_err(|e| format!("write {}: {e}", opts.out.display()))?;
+    print!("{}", trace.summary());
+    println!("wrote {}", opts.out.display());
+    Ok(())
 }
 
 fn emit(tables: &[Table], out: &Option<PathBuf>) {
@@ -79,6 +201,17 @@ fn emit(tables: &[Table], out: &Option<PathBuf>) {
 }
 
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("trace") {
+        raw.next();
+        return match trace_command(raw) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -139,6 +272,27 @@ fn main() -> ExitCode {
     } else {
         push_cmd(&opts.command, &mut tables);
         emit(&tables, &opts.out);
+    }
+    if let Some(dir) = &opts.trace_dir {
+        match &sweep {
+            Some(s) => match s.write_traces(dir, &TraceConfig::default(), opts.progress) {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("[trace] wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("could not write traces to {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => {
+                eprintln!(
+                    "--trace only applies to sweep-based commands (fig1-fig4, fig6, compare, all)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

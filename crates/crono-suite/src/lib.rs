@@ -39,6 +39,7 @@ pub mod paper;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod trace;
 pub mod workload;
 
 pub use report::Table;

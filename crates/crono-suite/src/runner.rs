@@ -8,7 +8,9 @@ use crono_algos::{
 };
 use crono_runtime::{Machine, NativeMachine, RunReport};
 use crono_sim::{SimConfig, SimMachine};
+use crono_trace::TraceConfig;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 /// Runs `bench`'s *parallel* version on `machine`, discarding the
 /// algorithmic output.
@@ -152,6 +154,41 @@ impl Sweep {
         let (t, _) = self.best(bench);
         &self.parallel[&(bench, t)]
     }
+
+    /// Re-runs every swept benchmark at its best thread count with event
+    /// tracing enabled and writes one Chrome trace JSON per benchmark
+    /// into `dir` (created if missing). Returns the written paths.
+    ///
+    /// The traced runs are separate simulations — the sweep itself stays
+    /// untraced so its timings are the zero-overhead ones the figures
+    /// report.
+    pub fn write_traces(
+        &self,
+        dir: &Path,
+        trace_config: &TraceConfig,
+        progress: bool,
+    ) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for bench in self.benchmarks() {
+            let (threads, _) = self.best(bench);
+            if progress {
+                eprintln!("[trace] {bench}: {threads} threads");
+            }
+            let trace = crate::trace::run_traced(
+                bench,
+                &self.scale,
+                threads,
+                crate::trace::TraceBackend::Sim,
+                &self.config,
+                trace_config,
+            );
+            let path = dir.join(format!("{}_{threads}t.json", bench.label()));
+            std::fs::write(&path, trace.to_chrome_json())?;
+            written.push(path);
+        }
+        Ok(written)
+    }
 }
 
 /// Native-machine sweep used by Fig. 9.
@@ -251,5 +288,21 @@ mod tests {
         assert!(scale.thread_counts.contains(&t));
         assert!(s > 0.0);
         assert!(sweep.best_report(Benchmark::Bfs).completion > 0);
+    }
+
+    #[test]
+    fn sweep_write_traces_emits_one_file_per_benchmark() {
+        let scale = Scale::test();
+        let config = SimConfig::tiny(16);
+        let sweep = Sweep::run_filtered(&scale, &config, false, &[Benchmark::Bfs]);
+        let dir = std::env::temp_dir().join(format!("crono-sweep-trace-{}", std::process::id()));
+        let paths = sweep
+            .write_traces(&dir, &TraceConfig::default(), false)
+            .expect("traces written");
+        assert_eq!(paths.len(), 1);
+        let json = std::fs::read_to_string(&paths[0]).expect("file exists");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"benchmark\": \"BFS\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

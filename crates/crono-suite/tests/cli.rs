@@ -77,6 +77,135 @@ fn out_flag_writes_tsv_files() {
 }
 
 #[test]
+fn trace_requires_a_benchmark() {
+    let out = crono().arg("trace").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bench"));
+}
+
+#[test]
+fn trace_rejects_unknown_benchmark() {
+    let out = crono()
+        .args(["trace", "--bench", "quicksort"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn trace_rejects_more_threads_than_simulated_cores() {
+    let out = crono()
+        .args(["trace", "--bench", "bfs", "--threads", "1000000"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cores"));
+}
+
+/// The PR's acceptance criterion: `crono trace --bench bfs --threads 16
+/// --scale test --out trace.json` emits valid Chrome trace JSON with at
+/// least one span per thread, and a second invocation is byte-identical.
+#[test]
+fn trace_bfs_is_valid_and_byte_identical_across_runs() {
+    let dir = std::env::temp_dir().join(format!("crono-trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |file: &str| {
+        let path = dir.join(file);
+        let out = crono()
+            .args(["trace", "--bench", "bfs", "--threads", "16", "--scale", "test", "--quiet"])
+            .arg("--out")
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("trace: BFS on sim (16 threads"), "{stdout}");
+        std::fs::read_to_string(&path).expect("trace written")
+    };
+    let a = run("a.json");
+    let b = run("b.json");
+    assert_eq!(a, b, "traced sim runs must serialize byte-identically");
+
+    // Structural validity: balanced braces/brackets, the Chrome keys, and
+    // per-thread span coverage (each of the 16 tracks opens a span).
+    assert!(a.trim_start().starts_with('{') && a.trim_end().ends_with('}'));
+    assert_eq!(a.matches('{').count(), a.matches('}').count());
+    assert_eq!(a.matches('[').count(), a.matches(']').count());
+    for needle in [
+        "\"traceEvents\"",
+        "\"bfs:level\"",
+        "\"barrier_wait\"",
+        "\"clock_unit\": \"cycles\"",
+        "\"threads\": 16",
+    ] {
+        assert!(a.contains(needle), "missing {needle}");
+    }
+    for tid in 0..16 {
+        let span = format!("{{\"ph\":\"B\",\"pid\":0,\"tid\":{tid},\"ts\":");
+        assert!(a.contains(&span), "thread {tid} recorded no span");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_native_backend_runs() {
+    let dir = std::env::temp_dir().join(format!("crono-trace-native-{}", std::process::id()));
+    let path = dir.join("native.json");
+    let out = crono()
+        .args(["trace", "--bench", "conn_comp", "--threads", "2", "--backend", "native", "--quiet"])
+        .arg("--out")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("trace written");
+    assert!(json.contains("\"clock_unit\": \"ns\""));
+    assert!(json.contains("conncomp:iter"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_flag_writes_per_benchmark_traces_for_sweeps() {
+    let dir = std::env::temp_dir().join(format!("crono-trace-sweep-{}", std::process::id()));
+    let out = crono()
+        .args(["fig2", "--scale", "test", "--quiet", "--trace"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("trace dir created")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+        .collect();
+    assert_eq!(files.len(), 10, "one trace per benchmark: {files:?}");
+    assert!(files.iter().any(|f| f.starts_with("BFS_")), "{files:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_flag_rejected_without_a_sweep_command() {
+    let out = crono()
+        .args(["table1", "--trace", "/tmp/nowhere"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sweep-based"));
+}
+
+#[test]
 fn fig3_runs_at_test_scale() {
     let out = crono()
         .args(["fig3", "--scale", "test", "--quiet"])

@@ -1,0 +1,317 @@
+//! Assembling per-thread traces and serializing them to the Chrome
+//! trace-event JSON format (the "JSON Array Format" with a top-level
+//! object), loadable in Perfetto and `chrome://tracing`.
+//!
+//! Serialization is fully deterministic: threads in id order, events in
+//! record order, counter summaries in lexicographic name order, and no
+//! wall-clock or environment-dependent fields. Under the simulated
+//! backend (deterministic clocks) the same run therefore produces
+//! byte-identical JSON — traces are snapshot-testable.
+
+use crate::ring::{CounterStat, EventKind, ThreadTrace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Run-identifying metadata embedded in the JSON under `otherData`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Benchmark label (e.g. `"BFS"`).
+    pub benchmark: String,
+    /// Backend name (`"sim"` / `"native"`).
+    pub backend: String,
+    /// Scale preset name (`"test"` / `"small"` / `"paper"`).
+    pub scale: String,
+    /// Thread count of the run.
+    pub threads: usize,
+    /// Clock domain of every timestamp: `"cycles"` (simulated) or
+    /// `"ns"` (native).
+    pub clock_unit: &'static str,
+}
+
+impl TraceMeta {
+    /// Convenience constructor.
+    pub fn new(
+        benchmark: impl Into<String>,
+        backend: impl Into<String>,
+        scale: impl Into<String>,
+        threads: usize,
+        clock_unit: &'static str,
+    ) -> Self {
+        TraceMeta {
+            benchmark: benchmark.into(),
+            backend: backend.into(),
+            scale: scale.into(),
+            threads,
+            clock_unit,
+        }
+    }
+}
+
+/// A complete run trace: metadata plus one [`ThreadTrace`] per thread,
+/// indexed by thread id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Run metadata.
+    pub meta: TraceMeta,
+    /// Per-thread event streams, indexed by thread id.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Trace {
+    /// Events dropped across all threads (0 means the rings never
+    /// overflowed and the trace is complete).
+    pub fn total_dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Total events recorded across all threads.
+    pub fn total_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// The compact machine-readable counter summary: per event name, how
+    /// often it occurred and the sum of its payloads. Deterministically
+    /// ordered (BTreeMap).
+    pub fn counters(&self) -> BTreeMap<&'static str, CounterStat> {
+        let mut map: BTreeMap<&'static str, CounterStat> = BTreeMap::new();
+        for t in &self.threads {
+            for ev in &t.events {
+                // Count span open+close once, at the open.
+                if ev.kind == EventKind::End {
+                    continue;
+                }
+                let stat = map.entry(ev.name).or_default();
+                stat.count += 1;
+                stat.arg_sum += ev.arg;
+            }
+        }
+        map
+    }
+
+    /// Number of span events (`Begin` or `Complete`) recorded by `tid`.
+    pub fn span_count(&self, tid: usize) -> usize {
+        self.threads[tid]
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Begin | EventKind::Complete))
+            .count()
+    }
+
+    /// Serializes to Chrome trace-event JSON.
+    ///
+    /// Layout: metadata (`M`) events naming the process and per-thread
+    /// tracks, then each thread's events in record order. `ts` is the raw
+    /// backend tick (1 tick = 1 simulated cycle or 1 ns); `otherData`
+    /// carries [`TraceMeta`], the per-thread drop counters, and the
+    /// counter summary.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 * (2 + self.total_events()));
+        out.push_str("{\n\"traceEvents\": [\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push_str(",\n");
+            }
+        };
+
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"crono {} [{}]\"}}}}",
+            escape(&self.meta.benchmark),
+            escape(&self.meta.backend),
+        );
+        for tid in 0..self.threads.len() {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"thread {tid}\"}}}}"
+            );
+        }
+
+        for (tid, t) in self.threads.iter().enumerate() {
+            for ev in &t.events {
+                sep(&mut out);
+                let (name, cat, ts) = (escape(ev.name), escape(ev.cat), ev.ts);
+                match ev.kind {
+                    EventKind::Begin => {
+                        let _ = write!(
+                            out,
+                            "{{\"ph\":\"B\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                             \"name\":\"{name}\",\"cat\":\"{cat}\"}}"
+                        );
+                    }
+                    EventKind::End => {
+                        let _ = write!(
+                            out,
+                            "{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                             \"name\":\"{name}\",\"cat\":\"{cat}\"}}"
+                        );
+                    }
+                    EventKind::Instant => {
+                        let _ = write!(
+                            out,
+                            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                             \"name\":\"{name}\",\"cat\":\"{cat}\",\"s\":\"t\",\
+                             \"args\":{{\"value\":{}}}}}",
+                            ev.arg
+                        );
+                    }
+                    EventKind::Complete => {
+                        let _ = write!(
+                            out,
+                            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                             \"dur\":{},\"name\":\"{name}\",\"cat\":\"{cat}\"}}",
+                            ev.arg
+                        );
+                    }
+                }
+            }
+        }
+
+        out.push_str("\n],\n");
+        let _ = write!(
+            out,
+            "\"displayTimeUnit\": \"ns\",\n\"otherData\": {{\n\
+             \"benchmark\": \"{}\",\n\"backend\": \"{}\",\n\"scale\": \"{}\",\n\
+             \"threads\": {},\n\"clock_unit\": \"{}\",\n",
+            escape(&self.meta.benchmark),
+            escape(&self.meta.backend),
+            escape(&self.meta.scale),
+            self.meta.threads,
+            self.meta.clock_unit,
+        );
+        out.push_str("\"dropped_events\": [");
+        for (i, t) in self.threads.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", t.dropped);
+        }
+        out.push_str("],\n\"counters\": {\n");
+        let counters = self.counters();
+        for (i, (name, stat)) in counters.iter().enumerate() {
+            let comma = if i + 1 < counters.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "  \"{}\": {{\"count\": {}, \"arg_sum\": {}}}{comma}",
+                escape(name),
+                stat.count,
+                stat.arg_sum
+            );
+        }
+        out.push_str("}\n}\n}\n");
+        out
+    }
+
+    /// A human-readable counter summary table (one line per event name).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} on {} ({} threads, scale {}, {} events, {} dropped)",
+            self.meta.benchmark,
+            self.meta.backend,
+            self.meta.threads,
+            self.meta.scale,
+            self.total_events(),
+            self.total_dropped(),
+        );
+        let _ = writeln!(out, "{:<24} {:>12} {:>16}", "event", "count", "arg_sum");
+        for (name, stat) in self.counters() {
+            let _ = writeln!(out, "{:<24} {:>12} {:>16}", name, stat.count, stat.arg_sum);
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ThreadTracer;
+
+    fn sample() -> Trace {
+        let mut t0 = ThreadTracer::new(64);
+        t0.begin("algo", "phase", 0);
+        t0.instant("mem", "l1_miss_cold", 5, 0x40);
+        t0.complete("sync", "barrier_wait", 10, 30);
+        t0.end("algo", "phase", 40);
+        let mut t1 = ThreadTracer::new(2);
+        t1.begin("algo", "phase", 0);
+        t1.end("algo", "phase", 9);
+        t1.instant("mem", "l1_miss_cold", 3, 0x80); // dropped
+        Trace {
+            meta: TraceMeta::new("BFS", "sim", "test", 2, "cycles"),
+            threads: vec![t0.finish(), t1.finish()],
+        }
+    }
+
+    #[test]
+    fn json_contains_all_phases_and_metadata() {
+        let json = sample().to_chrome_json();
+        for needle in [
+            "\"traceEvents\"",
+            "\"ph\":\"M\"",
+            "\"ph\":\"B\"",
+            "\"ph\":\"E\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"X\"",
+            "\"thread 1\"",
+            "\"dur\":30",
+            "\"dropped_events\": [0, 1]",
+            "\"benchmark\": \"BFS\"",
+            "\"clock_unit\": \"cycles\"",
+            "\"l1_miss_cold\": {\"count\": 1, \"arg_sum\": 64}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(sample().to_chrome_json(), sample().to_chrome_json());
+    }
+
+    #[test]
+    fn counters_merge_threads_and_skip_span_ends() {
+        let trace = sample();
+        let c = trace.counters();
+        assert_eq!(c["phase"].count, 2, "one Begin per thread, Ends ignored");
+        assert_eq!(c["barrier_wait"].count, 1);
+        assert_eq!(c["barrier_wait"].arg_sum, 30);
+        assert_eq!(trace.total_dropped(), 1);
+    }
+
+    #[test]
+    fn span_counts_per_thread() {
+        let trace = sample();
+        assert_eq!(trace.span_count(0), 2, "Begin + Complete");
+        assert_eq!(trace.span_count(1), 1);
+    }
+
+    #[test]
+    fn balanced_braces_and_brackets() {
+        // Cheap structural sanity: every opener has a closer (names are
+        // static identifiers, so no brace ever appears inside a string).
+        let json = sample().to_chrome_json();
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = json.matches(open).count();
+            let c = json.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Event tracing and profiling for the CRONO suite.
+//!
+//! CRONO's contribution is architectural *characterization* — per-component
+//! completion-time breakdowns, miss classification, NoC behavior (§IV-D) —
+//! but aggregate counters cannot show *when and where* inside a run the
+//! time went. This crate records the raw event stream:
+//!
+//! * [`ThreadTracer`] — a per-thread, lock-free ring buffer of
+//!   [`Event`]s: **spans** (algorithm phases, barrier waits, lock holds)
+//!   and **instants** (L1 miss classes, directory invalidations, NoC and
+//!   DRAM queueing). Each thread owns its tracer, so recording is a plain
+//!   `Vec` push — no synchronization on the hot path.
+//! * [`ThreadTrace`] — the frozen result of one thread's tracer, with an
+//!   exact count of events dropped at capacity (bounded memory, never
+//!   silent truncation).
+//! * [`Trace`] — all threads of one run plus [`TraceMeta`], serializable
+//!   to Chrome trace-event JSON ([`Trace::to_chrome_json`]) loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`, and to a
+//!   compact machine-readable counter summary
+//!   ([`Trace::counters`] / embedded in the JSON under `otherData`).
+//!
+//! Timestamps are `u64` ticks in whatever clock domain the backend runs:
+//! simulated cycles on the simulator (deterministic, snapshot-testable)
+//! or native nanoseconds on the real-machine backend.
+//!
+//! # Examples
+//!
+//! ```
+//! use crono_trace::{ThreadTracer, Trace, TraceMeta};
+//!
+//! let mut t = ThreadTracer::new(1024);
+//! t.begin("algo", "bfs:level", 0);
+//! t.instant("mem", "l1_miss_cold", 7, 0xabc0);
+//! t.end("algo", "bfs:level", 120);
+//! let trace = Trace {
+//!     meta: TraceMeta::new("BFS", "sim", "test", 1, "cycles"),
+//!     threads: vec![t.finish()],
+//! };
+//! let json = trace.to_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! assert!(json.contains("l1_miss_cold"));
+//! assert_eq!(trace.total_dropped(), 0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod ring;
+
+pub use json::{Trace, TraceMeta};
+pub use ring::{CounterStat, Event, EventKind, ThreadTrace, ThreadTracer, TraceConfig};

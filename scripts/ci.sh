@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 echo "==> cargo build --release --offline"
-cargo build --release --offline --workspace --benches
+cargo build --release --offline --workspace --bins --benches
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
@@ -40,5 +40,38 @@ echo "==> bench harness smoke run (1 sample per target)"
 CRONO_BENCH_SAMPLES=1 CRONO_BENCH_WARMUP_MS=1 CRONO_BENCH_MEASURE_MS=50 \
   cargo bench -q -p crono-bench --offline >/dev/null
 echo "bench targets ran; JSON reports under results/"
+
+echo "==> trace smoke test"
+trace_out=$(mktemp -d)
+trap 'rm -rf "$trace_out"' EXIT
+./target/release/crono trace --bench bfs --scale test --quiet \
+  --out "$trace_out/trace.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$trace_out/trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+threads = doc["otherData"]["threads"]
+for tid in range(threads):
+    spans = [e for e in events
+             if e.get("tid") == tid and e["ph"] in ("B", "X")]
+    assert spans, f"thread {tid} recorded no spans"
+print(f"trace OK: {len(events)} events, {threads} threads, all with spans")
+PY
+else
+  # No python3: fall back to structural greps.
+  grep -q '"traceEvents"' "$trace_out/trace.json"
+  grep -q '"ph":"B"' "$trace_out/trace.json"
+  echo "trace OK (python3 unavailable; grep-validated)"
+fi
+
+echo "==> tracked-file audit: no build artifacts in git"
+if git ls-files | grep -q '^target/'; then
+  echo "ERROR: files under target/ are tracked by git:" >&2
+  git ls-files | grep '^target/' >&2
+  exit 1
+fi
+echo "no target/ files tracked"
 
 echo "CI gate passed."
