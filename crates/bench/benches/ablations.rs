@@ -6,9 +6,9 @@
 use crono_bench::{criterion_group, criterion_main, Criterion};
 use crono_bench::workload;
 use crono_sim::{MeshConfig, RoutingPolicy, SimConfig, SimMachine};
-use crono_suite::runner::run_parallel;
+use crono_suite::runner::{run_parallel, run_parallel_ablated};
 use crono_runtime::{LockSet, Machine, ThreadCtx};
-use crono_algos::Benchmark;
+use crono_algos::{Ablation, Benchmark};
 
 fn directory(c: &mut Criterion) {
     let w = workload();
@@ -131,6 +131,52 @@ fn sssp_strategy(c: &mut Criterion) {
     g.finish();
 }
 
+fn frontier_repr(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_frontier_repr");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for &bench in Ablation::FrontierRepr.benchmarks() {
+        for (kernel, ablation) in [("default", None), ("bitmap", Some(Ablation::FrontierRepr))] {
+            g.bench_function(format!("{}/{kernel}", bench.label()), |b| {
+                b.iter(|| {
+                    run_parallel_ablated(
+                        bench,
+                        &SimMachine::new(SimConfig::default(), 16),
+                        &w,
+                        ablation,
+                    )
+                    .completion
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn pagerank_update(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_pagerank_update");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (kernel, ablation) in [("locked", None), ("cas", Some(Ablation::PagerankUpdate))] {
+        g.bench_function(kernel, |b| {
+            b.iter(|| {
+                run_parallel_ablated(
+                    Benchmark::PageRank,
+                    &SimMachine::new(SimConfig::default(), 16),
+                    &w,
+                    ablation,
+                )
+                .completion
+            })
+        });
+    }
+    g.finish();
+}
+
 fn locality_aware(c: &mut Criterion) {
     let w = workload();
     let mut g = c.benchmark_group("ablation_locality_aware");
@@ -185,6 +231,8 @@ criterion_group!(
     noc_contention,
     lock_alignment,
     sssp_strategy,
+    frontier_repr,
+    pagerank_update,
     locality_aware,
     routing
 );

@@ -1,7 +1,7 @@
 //! Native-speed microbenches of the ten algorithm kernels — the raw
 //! performance of the suite when it is *not* being simulated.
 
-use crono_bench::{criterion_group, criterion_main, Criterion};
+use crono_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use crono_bench::workload;
 use crono_runtime::NativeMachine;
 use crono_suite::runner::run_parallel;
@@ -14,6 +14,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(w.graph.num_directed_edges() as u64));
     for bench_kind in Benchmark::ALL {
         g.bench_function(bench_kind.label(), |b| {
             b.iter(|| run_parallel(bench_kind, &machine, &w).completion)

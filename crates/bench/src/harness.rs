@@ -46,9 +46,20 @@ impl Criterion {
             sample_size: env_usize("CRONO_BENCH_SAMPLES", 10),
             warm_up: Duration::from_millis(env_u64("CRONO_BENCH_WARMUP_MS", 500)),
             measurement: Duration::from_millis(env_u64("CRONO_BENCH_MEASURE_MS", 3_000)),
+            throughput: None,
             results: Vec::new(),
         }
     }
+}
+
+/// Criterion-compatible throughput declaration: how many elements one
+/// iteration of the following benchmark functions processes. For the
+/// graph kernels an element is a traversed edge, so the derived rate is
+/// MTEPS (millions of traversed edges per second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (edges, for the kernels) processed per iteration.
+    Elements(u64),
 }
 
 /// A named benchmark id, optionally parameterized (criterion-compatible).
@@ -130,6 +141,14 @@ pub struct FunctionStats {
     pub min_ns: u64,
     /// Slowest sample.
     pub max_ns: u64,
+    /// Total host wall-clock spent on this function (warmup included).
+    pub wall_ns: u64,
+    /// Elements per iteration, if declared via
+    /// [`BenchmarkGroup::throughput`].
+    pub elements: Option<u64>,
+    /// Millions of elements per second at the median sample (MTEPS when
+    /// elements are edges). `None` without a throughput declaration.
+    pub mteps_median: Option<f64>,
 }
 
 impl FunctionStats {
@@ -147,7 +166,19 @@ impl FunctionStats {
             mean_ns: (ns.iter().sum::<u64>() / n as u64),
             min_ns: ns[0],
             max_ns: ns[n - 1],
+            wall_ns: 0,
+            elements: None,
+            mteps_median: None,
         }
+    }
+
+    /// Attaches a throughput declaration, deriving the median rate.
+    fn with_elements(mut self, elements: u64) -> Self {
+        self.elements = Some(elements);
+        // elements / median_ns is elements-per-ns; ×1e9 for per-second,
+        // ÷1e6 for millions — net ×1e3.
+        self.mteps_median = Some(elements as f64 * 1e3 / self.median_ns.max(1) as f64);
+        self
     }
 }
 
@@ -160,6 +191,7 @@ pub struct BenchmarkGroup {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    throughput: Option<u64>,
     results: Vec<FunctionStats>,
 }
 
@@ -190,6 +222,15 @@ impl BenchmarkGroup {
         self
     }
 
+    /// Declares elements-per-iteration for subsequent functions,
+    /// enabling the MTEPS column in stats and JSON reports
+    /// (criterion-compatible).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let Throughput::Elements(n) = t;
+        self.throughput = Some(n);
+        self
+    }
+
     /// Runs one benchmark function and records its statistics.
     pub fn bench_function(
         &mut self,
@@ -203,10 +244,20 @@ impl BenchmarkGroup {
             warm_up: self.warm_up,
             measurement: self.measurement,
         };
+        let wall_start = Instant::now();
         f(&mut bencher);
-        let stats = FunctionStats::from_samples(id.id, bencher.sample_ns);
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        let mut stats = FunctionStats::from_samples(id.id, bencher.sample_ns);
+        stats.wall_ns = wall_ns;
+        if let Some(n) = self.throughput {
+            stats = stats.with_elements(n);
+        }
+        let mteps = stats
+            .mteps_median
+            .map(|m| format!("   {m:>10.2} MTEPS"))
+            .unwrap_or_default();
         println!(
-            "{}/{:<40} median {:>12} ns   p10 {:>12} ns   p90 {:>12} ns   ({} samples)",
+            "{}/{:<40} median {:>12} ns   p10 {:>12} ns   p90 {:>12} ns   ({} samples){mteps}",
             self.name, stats.name, stats.median_ns, stats.p10_ns, stats.p90_ns, stats.samples
         );
         self.results.push(stats);
@@ -234,16 +285,25 @@ impl BenchmarkGroup {
         let _ = writeln!(json, "  \"commit\": \"{}\",", escape(&git_commit()));
         let _ = writeln!(json, "  \"scale\": \"{}\",", escape(crate::scale().name));
         let _ = writeln!(json, "  \"sample_target\": {},", self.sample_size);
+        let total_wall: u64 = self.results.iter().map(|s| s.wall_ns).sum();
+        let _ = writeln!(json, "  \"total_wall_ns\": {total_wall},");
         let _ = writeln!(json, "  \"functions\": [");
         for (i, s) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let throughput = match (s.elements, s.mteps_median) {
+                (Some(e), Some(m)) => {
+                    format!(", \"elements\": {e}, \"mteps_median\": {m:.4}")
+                }
+                _ => String::new(),
+            };
             let _ = writeln!(
                 json,
                 "    {{\"name\": \"{}\", \"samples\": {}, \"median_ns\": {}, \
                  \"p10_ns\": {}, \"p90_ns\": {}, \"mean_ns\": {}, \
-                 \"min_ns\": {}, \"max_ns\": {}}}{comma}",
+                 \"min_ns\": {}, \"max_ns\": {}, \
+                 \"wall_ns\": {}{throughput}}}{comma}",
                 escape(&s.name), s.samples, s.median_ns, s.p10_ns, s.p90_ns,
-                s.mean_ns, s.min_ns, s.max_ns
+                s.mean_ns, s.min_ns, s.max_ns, s.wall_ns
             );
         }
         let _ = writeln!(json, "  ]");
@@ -356,6 +416,31 @@ mod tests {
     fn benchmark_id_renders_name_slash_param() {
         let id = BenchmarkId::new("bfs", 4096);
         assert_eq!(id.id, "bfs/4096");
+    }
+
+    #[test]
+    fn throughput_derives_mteps_from_median() {
+        // 2_000_000 edges in a 1 ms median iteration = 2000 MTEPS.
+        let s = FunctionStats::from_samples("t".into(), vec![1_000_000])
+            .with_elements(2_000_000);
+        assert_eq!(s.elements, Some(2_000_000));
+        let mteps = s.mteps_median.unwrap();
+        assert!((mteps - 2000.0).abs() < 1e-9, "got {mteps}");
+    }
+
+    #[test]
+    fn wall_clock_and_mteps_reach_the_report() {
+        std::env::set_var("CRONO_BENCH_SAMPLES", "2");
+        std::env::set_var("CRONO_BENCH_WARMUP_MS", "1");
+        std::env::set_var("CRONO_BENCH_MEASURE_MS", "50");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("harness_unit_test");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("spin", |b| b.iter(|| std::hint::black_box(7u64).pow(3)));
+        let s = &g.results[0];
+        assert!(s.wall_ns > 0, "wall clock not recorded");
+        assert_eq!(s.elements, Some(1000));
+        assert!(s.mteps_median.is_some());
     }
 
     #[test]

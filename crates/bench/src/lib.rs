@@ -6,7 +6,7 @@
 
 pub mod harness;
 
-pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion, FunctionStats};
+pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion, FunctionStats, Throughput};
 
 use crono_sim::{SimConfig, SimMachine};
 use crono_suite::{Scale, Workload};

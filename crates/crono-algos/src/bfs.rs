@@ -9,7 +9,9 @@
 use crate::graph_view::SharedGraph;
 use crate::{costs, AlgoOutcome};
 use crono_graph::{CsrGraph, VertexId};
-use crono_runtime::{LockSet, Machine, SharedFlags, SharedU32s, SharedU64s, ThreadCtx, TrackedVec};
+use crono_runtime::{
+    LockSet, Machine, SharedBitmap, SharedFlags, SharedU32s, SharedU64s, ThreadCtx, TrackedVec,
+};
 use std::collections::VecDeque;
 
 /// Level assigned to vertices the search never reaches.
@@ -130,6 +132,94 @@ pub fn parallel<M: Machine>(
                             visited.set(ctx, u, true);
                             level.set(ctx, u, depth + 1);
                             next.set(ctx, u, true);
+                            activated += 1;
+                        }
+                        ctx.unlock_for(&locks, u);
+                    }
+                }
+            }
+            if processed > 0 {
+                ctx.record_active(processed);
+            }
+            if activated > 0 {
+                activations.fetch_add(ctx, (depth as usize + 1) % 3, activated);
+            }
+            ctx.barrier();
+            let frontier_empty = activations.get(ctx, (depth as usize + 1) % 3) == 0;
+            ctx.span_end("bfs:level");
+            if frontier_empty {
+                break;
+            }
+            depth += 1;
+        }
+        depth + 1
+    });
+    AlgoOutcome {
+        output: summarize(level.to_vec()),
+        report: outcome.report,
+    }
+}
+
+/// Parallel BFS with a word-packed frontier — the `frontier_repr`
+/// ablation (GAP-style bitmap, PR 3).
+///
+/// Identical algorithm to [`parallel`] except the two frontier arrays
+/// are [`SharedBitmap`]s scanned with `find_set_from`, so an empty
+/// stretch of 64 vertices costs one simulated load instead of 64. The
+/// byte-array scan stays the paper-faithful default; this variant
+/// quantifies how much of CRONO's reported BFS synchronization/miss
+/// profile is an artifact of the frontier representation.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn parallel_bitmap<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> AlgoOutcome<BfsOutput> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let shared = SharedGraph::new(graph);
+    let level = SharedU32s::filled(n, UNVISITED);
+    level.set_plain(source as usize, 0);
+    let visited = SharedFlags::new(n);
+    visited.set_plain(source as usize, true);
+    let fronts = [SharedBitmap::new(n), SharedBitmap::new(n)];
+    fronts[0].set_plain(source as usize);
+    let activations = SharedU64s::new(3);
+    let locks = LockSet::new(n.min(4096));
+
+    let outcome = machine.run(|ctx| {
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        let mut depth = 0u32;
+        loop {
+            ctx.span_begin("bfs:level");
+            let cur = &fronts[(depth as usize) % 2];
+            let next = &fronts[(depth as usize + 1) % 2];
+            activations.set(ctx, (depth as usize + 2) % 3, 0);
+            let mut processed = 0u64;
+            let mut activated = 0u64;
+            // Word-skipping scan over the packed frontier; ownership
+            // striping and vertex capture are unchanged from `parallel`.
+            let mut pos = 0;
+            while let Some(v) = cur.find_set_from(ctx, pos) {
+                pos = v + 1;
+                if v % nthreads != tid {
+                    continue;
+                }
+                cur.clear(ctx, v);
+                processed += 1;
+                ctx.compute(costs::VISIT);
+                for e in shared.edge_range(ctx, v as VertexId) {
+                    let u = shared.neighbor(ctx, e) as usize;
+                    if !visited.get(ctx, u) {
+                        ctx.lock_for(&locks, u);
+                        if !visited.get(ctx, u) {
+                            visited.set(ctx, u, true);
+                            level.set(ctx, u, depth + 1);
+                            next.set(ctx, u);
                             activated += 1;
                         }
                         ctx.unlock_for(&locks, u);
@@ -299,6 +389,16 @@ mod tests {
         let out = parallel(&NativeMachine::new(2), &g, 0);
         assert_eq!(out.output.level[2], UNVISITED);
         assert_eq!(out.output.reachable, 2);
+    }
+
+    #[test]
+    fn bitmap_variant_matches_sequential() {
+        let g = uniform_random(256, 1024, 4, 2);
+        let seq = sequential(&NativeMachine::new(1), &g, 3);
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_bitmap(&NativeMachine::new(threads), &g, 3);
+            assert_eq!(par.output.level, seq.output.level, "threads={threads}");
+        }
     }
 
     #[test]

@@ -171,6 +171,73 @@ impl std::fmt::Display for Benchmark {
     }
 }
 
+/// Opt-in optimized kernel variants (PR 3's `--ablation` flag).
+///
+/// The paper-faithful kernels stay the default everywhere; an ablation
+/// selects a faster variant of the same algorithm so the suite can
+/// characterize the optimization the way the paper characterizes
+/// everything else. Benchmarks an ablation does not apply to run their
+/// default kernel unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ablation {
+    /// Word-packed `SharedBitmap` frontiers (GAP-style) for the BFS,
+    /// SSSP, and connected-components scans instead of byte arrays.
+    FrontierRepr,
+    /// Lock-free CAS-loop rank accumulation for PageRank instead of
+    /// striped per-vertex locks.
+    PagerankUpdate,
+}
+
+impl Ablation {
+    /// Every ablation, in CLI-listing order.
+    pub const ALL: [Ablation; 2] = [Ablation::FrontierRepr, Ablation::PagerankUpdate];
+
+    /// The CLI / TSV key of this ablation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::FrontierRepr => "frontier_repr",
+            Ablation::PagerankUpdate => "pagerank_update",
+        }
+    }
+
+    /// Looks an ablation up by [`Ablation::name`], case-insensitively.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crono_algos::Ablation;
+    ///
+    /// assert_eq!(Ablation::by_name("frontier_repr"), Some(Ablation::FrontierRepr));
+    /// assert_eq!(Ablation::by_name("nope"), None);
+    /// ```
+    pub fn by_name(name: &str) -> Option<Ablation> {
+        Ablation::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The benchmarks whose kernel this ablation replaces.
+    pub fn benchmarks(self) -> &'static [Benchmark] {
+        match self {
+            Ablation::FrontierRepr => {
+                &[Benchmark::Bfs, Benchmark::SsspDijk, Benchmark::ConnComp]
+            }
+            Ablation::PagerankUpdate => &[Benchmark::PageRank],
+        }
+    }
+
+    /// Whether this ablation changes `bench`'s kernel.
+    pub fn applies_to(self, bench: Benchmark) -> bool {
+        self.benchmarks().contains(&bench)
+    }
+}
+
+impl std::fmt::Display for Ablation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,7 +13,9 @@
 use crate::graph_view::SharedGraph;
 use crate::{costs, AlgoOutcome};
 use crono_graph::{CsrGraph, VertexId};
-use crono_runtime::{LockSet, Machine, SharedFlags, SharedU32s, SharedU64s, ThreadCtx, TrackedVec};
+use crono_runtime::{
+    LockSet, Machine, SharedBitmap, SharedFlags, SharedU32s, SharedU64s, ThreadCtx, TrackedVec,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -153,6 +155,97 @@ pub fn parallel<M: Machine>(
                             dist.set(ctx, u as usize, nd);
                             if !next.get(ctx, u as usize) {
                                 next.set(ctx, u as usize, true);
+                                activated += 1;
+                            }
+                        }
+                        ctx.unlock_for(&locks, u as usize);
+                    }
+                }
+            }
+            if processed > 0 {
+                ctx.record_active(processed);
+            }
+            if activated > 0 {
+                activations.fetch_add(ctx, (round + 1) % 3, activated);
+            }
+            ctx.barrier();
+            let frontier_empty = activations.get(ctx, (round + 1) % 3) == 0;
+            ctx.span_end("sssp:round");
+            if frontier_empty {
+                break;
+            }
+            round += 1;
+        }
+        round as u32 + 1
+    });
+    AlgoOutcome {
+        output: SsspOutput {
+            dist: dist.to_vec(),
+            rounds: rounds_done.per_thread[0],
+        },
+        report: rounds_done.report,
+    }
+}
+
+/// Parallel SSSP with a word-packed frontier — the `frontier_repr`
+/// ablation (GAP-style bitmap, PR 3).
+///
+/// Identical relaxation algorithm to [`parallel`], but both pareto-front
+/// arrays are [`SharedBitmap`]s: the per-round scan skips 64 inactive
+/// vertices per simulated load, and next-front activation uses the
+/// word-level `test_and_set` instead of a byte check-then-store (still
+/// under the distance lock, so the activation count is unchanged).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn parallel_bitmap<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> AlgoOutcome<SsspOutput> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let shared = SharedGraph::new(graph);
+    let dist = SharedU32s::filled(n, UNREACHABLE);
+    dist.set_plain(source as usize, 0);
+    let fronts = [SharedBitmap::new(n), SharedBitmap::new(n)];
+    fronts[0].set_plain(source as usize);
+    let activations = SharedU64s::new(3);
+    let locks = LockSet::new(n.min(8192));
+
+    let rounds_done = machine.run(|ctx| {
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        let mut round = 0usize;
+        loop {
+            ctx.span_begin("sssp:round");
+            let cur = &fronts[round % 2];
+            let next = &fronts[(round + 1) % 2];
+            activations.set(ctx, (round + 2) % 3, 0);
+            let mut processed = 0u64;
+            let mut activated = 0u64;
+            // Word-skipping scan over the packed front; ownership
+            // striping and locking are unchanged from `parallel`.
+            let mut pos = 0;
+            while let Some(v) = cur.find_set_from(ctx, pos) {
+                pos = v + 1;
+                if v % nthreads != tid {
+                    continue;
+                }
+                cur.clear(ctx, v);
+                processed += 1;
+                ctx.compute(costs::VISIT);
+                let dv = dist.get(ctx, v);
+                for e in shared.edge_range(ctx, v as VertexId) {
+                    let (u, w) = shared.edge(ctx, e);
+                    ctx.compute(costs::RELAX);
+                    let nd = dv + w;
+                    if nd < dist.get(ctx, u as usize) {
+                        ctx.lock_for(&locks, u as usize);
+                        if nd < dist.get(ctx, u as usize) {
+                            dist.set(ctx, u as usize, nd);
+                            if !next.test_and_set(ctx, u as usize) {
                                 activated += 1;
                             }
                         }
@@ -361,6 +454,17 @@ mod tests {
                     "edge ({v},{u}) violates triangle inequality"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn bitmap_variant_matches_bellman_ford() {
+        let g = uniform_random(256, 1024, 32, 5);
+        let oracle = reference(&g, 7);
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_bitmap(&NativeMachine::new(threads), &g, 7);
+            assert_eq!(par.output.dist, oracle, "threads={threads}");
+            assert!(par.output.rounds >= 1);
         }
     }
 

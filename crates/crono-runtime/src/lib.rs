@@ -62,4 +62,6 @@ pub use sync::{
 pub use machine::{Machine, RunOutcome};
 pub use native::{NativeCtx, NativeMachine};
 pub use report::{Breakdown, EnergyCounters, MissStats, RunReport, ThreadReport};
-pub use shared::{ReadArray, SharedF64s, SharedFlags, SharedU32s, SharedU64s, TrackedVec};
+pub use shared::{
+    ReadArray, SharedBitmap, SharedF64s, SharedFlags, SharedU32s, SharedU64s, TrackedVec,
+};

@@ -325,6 +325,160 @@ impl SharedFlags {
     }
 }
 
+/// A word-packed shared bitmap: 64 bits per `AtomicU64` word, so a full
+/// scan costs one simulated access per 64 vertices instead of one per
+/// vertex (the GAP-style frontier representation).
+///
+/// Bit mutation uses atomic OR/AND on the containing word, charged to
+/// the context as an RMW — concurrent writers to *different bits of the
+/// same word* contend, which is exactly the sharing behavior a packed
+/// frontier exhibits on real hardware and what the simulator should see.
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{Machine, NativeMachine, SharedBitmap};
+///
+/// let frontier = SharedBitmap::new(130);
+/// NativeMachine::new(1).run(|ctx| {
+///     frontier.set(ctx, 7);
+///     frontier.set(ctx, 129);
+///     assert_eq!(frontier.find_set_from(ctx, 0), Some(7));
+///     assert_eq!(frontier.find_set_from(ctx, 8), Some(129));
+///     assert_eq!(frontier.find_set_from(ctx, 130), None);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct SharedBitmap {
+    region: Region,
+    words: Vec<AtomicU64>,
+    bits: usize,
+}
+
+impl SharedBitmap {
+    /// Creates a bitmap of `n` bits, all clear.
+    pub fn new(n: usize) -> Self {
+        let nwords = n.div_ceil(64);
+        SharedBitmap {
+            region: alloc_region(nwords as u64 * 8),
+            words: (0..nwords).map(|_| AtomicU64::new(0)).collect(),
+            bits: n,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Symbolic address of the word holding bit `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.region.addr(i / 64, 8)
+    }
+
+    /// Reads bit `i` through the context (one word load).
+    #[inline]
+    pub fn get<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> bool {
+        ctx.load(self.addr(i));
+        self.words[i / 64].load(LOAD) >> (i % 64) & 1 != 0
+    }
+
+    /// Sets bit `i` through the context (atomic OR on the word).
+    #[inline]
+    pub fn set<C: ThreadCtx>(&self, ctx: &mut C, i: usize) {
+        ctx.rmw(self.addr(i));
+        self.words[i / 64].fetch_or(1 << (i % 64), RMW);
+    }
+
+    /// Clears bit `i` through the context (atomic AND on the word).
+    #[inline]
+    pub fn clear<C: ThreadCtx>(&self, ctx: &mut C, i: usize) {
+        ctx.rmw(self.addr(i));
+        self.words[i / 64].fetch_and(!(1 << (i % 64)), RMW);
+    }
+
+    /// Atomically sets bit `i`, returning whether it was previously set
+    /// (the bitmap form of [`SharedFlags::test_and_set`]).
+    #[inline]
+    pub fn test_and_set<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> bool {
+        ctx.rmw(self.addr(i));
+        self.words[i / 64].fetch_or(1 << (i % 64), RMW) >> (i % 64) & 1 != 0
+    }
+
+    /// Finds the first set bit at position `>= from`, skipping clear
+    /// words with one simulated load each.
+    #[inline]
+    pub fn find_set_from<C: ThreadCtx>(&self, ctx: &mut C, from: usize) -> Option<usize> {
+        if from >= self.bits {
+            return None;
+        }
+        let mut w = from / 64;
+        ctx.load(self.region.addr(w, 8));
+        // Mask off bits below `from` in the first word.
+        let mut word = self.words[w].load(LOAD) & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                // Trailing bits past `bits` are never set (no setter
+                // accepts them), so no range check is needed here.
+                return Some(i);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            ctx.load(self.region.addr(w, 8));
+            word = self.words[w].load(LOAD);
+        }
+    }
+
+    /// Number of 64-bit words backing the bitmap.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Zeroes whole words `range` through the context — one simulated
+    /// store per word, so wiping the bitmap costs 1/64th of clearing
+    /// each bit individually. Callers must ensure no concurrent setter
+    /// targets these words (e.g. behind a barrier).
+    pub fn clear_words<C: ThreadCtx>(&self, ctx: &mut C, range: std::ops::Range<usize>) {
+        for w in range {
+            ctx.store(self.region.addr(w, 8));
+            self.words[w].store(0, STORE);
+        }
+    }
+
+    /// Reads bit `i` without a context (outside the timed region).
+    pub fn get_plain(&self, i: usize) -> bool {
+        self.words[i / 64].load(LOAD) >> (i % 64) & 1 != 0
+    }
+
+    /// Sets bit `i` without a context (outside the timed region).
+    pub fn set_plain(&self, i: usize) {
+        self.words[i / 64].fetch_or(1 << (i % 64), RMW);
+    }
+
+    /// Number of set bits (outside the timed region).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(LOAD).count_ones() as usize)
+            .sum()
+    }
+
+    /// Clears all bits (outside the timed region).
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, STORE);
+        }
+    }
+}
+
 /// A read-only view of host data with symbolic addresses — used for the
 /// graph arrays, which every thread reads but none writes.
 ///
@@ -555,5 +709,95 @@ mod tests {
         assert_eq!(arr.to_vec(), vec![9, 8, 7]);
         arr.set_plain(1, 0);
         assert_eq!(arr.to_vec(), vec![9, 0, 7]);
+    }
+
+    #[test]
+    fn bitmap_matches_flags_on_random_pattern() {
+        // A fixed pseudo-random pattern mirrored into both
+        // representations must agree bit-for-bit under get and scan.
+        let n = 200;
+        let flags = SharedFlags::new(n);
+        let bitmap = SharedBitmap::new(n);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let pattern: Vec<bool> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 60 & 1 != 0
+            })
+            .collect();
+        NativeMachine::new(1).run(|ctx| {
+            for i in 0..n {
+                if pattern[i] {
+                    flags.set(ctx, i, true);
+                    bitmap.set(ctx, i);
+                }
+            }
+            let mut from = 0;
+            while let Some(i) = bitmap.find_set_from(ctx, from) {
+                assert!(flags.get(ctx, i), "bit {i} set in bitmap but not flags");
+                from = i + 1;
+            }
+            for i in 0..n {
+                assert_eq!(flags.get(ctx, i), bitmap.get(ctx, i), "bit {i}");
+            }
+            assert_eq!(
+                bitmap.count_ones(),
+                (0..n).filter(|&i| flags.get_plain(i)).count()
+            );
+        });
+    }
+
+    #[test]
+    fn bitmap_word_boundaries() {
+        let bitmap = SharedBitmap::new(256);
+        NativeMachine::new(1).run(|ctx| {
+            for i in [0, 63, 64, 127, 128, 255] {
+                assert!(!bitmap.test_and_set(ctx, i), "bit {i} initially clear");
+                assert!(bitmap.test_and_set(ctx, i), "bit {i} now set");
+                assert!(bitmap.get(ctx, i));
+            }
+            assert_eq!(bitmap.find_set_from(ctx, 0), Some(0));
+            assert_eq!(bitmap.find_set_from(ctx, 1), Some(63));
+            assert_eq!(bitmap.find_set_from(ctx, 64), Some(64));
+            assert_eq!(bitmap.find_set_from(ctx, 129), Some(255));
+            bitmap.clear(ctx, 63);
+            assert_eq!(bitmap.find_set_from(ctx, 1), Some(64));
+        });
+        // Adjacent bits in one word share a line; words 0 and 8*8=64
+        // bytes apart land on different lines.
+        assert_eq!(bitmap.addr(0).line(), bitmap.addr(63).line());
+        assert_ne!(bitmap.addr(0).raw(), bitmap.addr(64).raw());
+    }
+
+    #[test]
+    fn bitmap_trailing_bits() {
+        // 70 bits: the last word holds only 6 valid bits.
+        let bitmap = SharedBitmap::new(70);
+        assert_eq!(bitmap.len(), 70);
+        NativeMachine::new(1).run(|ctx| {
+            assert_eq!(bitmap.find_set_from(ctx, 0), None);
+            bitmap.set(ctx, 69);
+            assert_eq!(bitmap.find_set_from(ctx, 0), Some(69));
+            assert_eq!(bitmap.find_set_from(ctx, 69), Some(69));
+            assert_eq!(bitmap.find_set_from(ctx, 70), None, "from == len");
+            assert_eq!(bitmap.find_set_from(ctx, 1000), None, "from past len");
+        });
+        bitmap.clear_all();
+        assert_eq!(bitmap.count_ones(), 0);
+        assert!(!bitmap.get_plain(69));
+        bitmap.set_plain(69);
+        assert!(bitmap.get_plain(69));
+    }
+
+    #[test]
+    fn bitmap_test_and_set_claims_once() {
+        let bitmap = SharedBitmap::new(64);
+        let claims = SharedU64s::new(1);
+        NativeMachine::new(8).run(|ctx| {
+            if !bitmap.test_and_set(ctx, 17) {
+                claims.fetch_add(ctx, 0, 1);
+            }
+        });
+        assert_eq!(claims.get_plain(0), 1, "exactly one thread claims");
     }
 }

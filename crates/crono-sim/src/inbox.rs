@@ -12,7 +12,7 @@
 //! time).
 
 use crono_runtime::{CachePadded, Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// One coherence message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +28,13 @@ pub struct CoherenceMsg {
 pub struct Inboxes {
     queues: Vec<Mutex<Vec<CoherenceMsg>>>,
     pending: Vec<CachePadded<AtomicUsize>>,
+    /// Per-core "something may be waiting" flags, armed by senders on
+    /// every push (including broadcasts) and cleared by the owning core
+    /// in [`Inboxes::take_notified`]. The per-memory-op probe then reads
+    /// one core-private padded flag with `Relaxed` ordering instead of
+    /// hammering the globally shared `broadcast_len` line — see
+    /// `take_notified` for why `Relaxed` is sound here.
+    notify: Vec<CachePadded<AtomicBool>>,
     broadcast_log: RwLock<Vec<u64>>,
     broadcast_len: AtomicU64,
 }
@@ -40,6 +47,9 @@ impl Inboxes {
             pending: (0..num_cores)
                 .map(|_| CachePadded::new(AtomicUsize::new(0)))
                 .collect(),
+            notify: (0..num_cores)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
             broadcast_log: RwLock::new(Vec::new()),
             broadcast_len: AtomicU64::new(0),
         }
@@ -49,19 +59,48 @@ impl Inboxes {
     pub fn push(&self, core: usize, msg: CoherenceMsg) {
         self.queues[core].lock().push(msg);
         self.pending[core].fetch_add(1, Ordering::Release);
+        self.notify[core].store(true, Ordering::Relaxed);
     }
 
     /// Records a broadcast invalidation of `line` (every core must drop
     /// it).
     pub fn push_broadcast(&self, line: u64) {
-        let mut log = self.broadcast_log.write();
-        log.push(line);
-        self.broadcast_len
-            .store(log.len() as u64, Ordering::Release);
+        {
+            let mut log = self.broadcast_log.write();
+            log.push(line);
+            self.broadcast_len
+                .store(log.len() as u64, Ordering::Release);
+        }
+        for flag in &self.notify {
+            flag.store(true, Ordering::Relaxed);
+        }
     }
 
-    /// Cheap check: does `core` have anything to drain beyond
-    /// `broadcast_cursor`?
+    /// Checks and clears `core`'s notification flag: the once-per-memory-
+    /// op probe. Only the owning core may call this.
+    ///
+    /// `Relaxed` is sound because the flag is advisory: a false positive
+    /// costs one empty drain, and a racy clear can only *defer* a
+    /// message to the next arm — acceptable under lax synchronization,
+    /// where cross-core delivery timing is already best-effort (the
+    /// messages carry timing state, never data). In traced mode the
+    /// sequencer fully serializes threads, so arm/clear/drain never
+    /// overlap and delivery points are exact and deterministic.
+    #[inline]
+    pub fn take_notified(&self, core: usize) -> bool {
+        if self.notify[core].load(Ordering::Relaxed) {
+            self.notify[core].store(false, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Exact check: does `core` have anything to drain beyond
+    /// `broadcast_cursor`? Superseded on the hot path by the advisory
+    /// [`Inboxes::take_notified`] flag; kept as the precise oracle the
+    /// tests compare against.
+    #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub fn has_pending(&self, core: usize, broadcast_cursor: u64) -> bool {
         self.pending[core].load(Ordering::Acquire) != 0
@@ -135,6 +174,26 @@ mod tests {
         let mut seen2 = Vec::new();
         ib.drain_broadcasts(0, |l| seen2.push(l));
         assert_eq!(seen2, vec![10, 11]);
+    }
+
+    #[test]
+    fn notify_flag_arms_on_push_and_broadcast() {
+        let ib = Inboxes::new(3);
+        assert!(!ib.take_notified(0));
+        ib.push(
+            1,
+            CoherenceMsg {
+                line: 3,
+                downgrade: true,
+            },
+        );
+        assert!(!ib.take_notified(0), "precise push targets one core");
+        assert!(ib.take_notified(1));
+        assert!(!ib.take_notified(1), "cleared by the take");
+        ib.push_broadcast(9);
+        for core in 0..3 {
+            assert!(ib.take_notified(core), "broadcast arms every core");
+        }
     }
 
     #[test]

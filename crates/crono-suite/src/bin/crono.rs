@@ -1,13 +1,15 @@
 //! The `crono` CLI: regenerates the paper's tables and figures.
 
-use crono_algos::Benchmark;
+use crono_algos::{Ablation, Benchmark};
 use crono_energy::EnergyModel;
 use crono_sim::SimConfig;
-use crono_suite::experiments::{fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables};
+use crono_suite::experiments::{
+    ablation, fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables,
+};
 use crono_suite::runner::Sweep;
-use crono_suite::trace::{run_traced, TraceBackend};
+use crono_suite::trace::{run_traced_ablated, TraceBackend};
 use crono_suite::{Scale, Table};
-use crono_trace::TraceConfig;
+use crono_trace::{CounterSummary, TraceConfig, TraceDiff};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,7 +19,9 @@ crono — regenerate the CRONO (IISWC 2015) tables and figures
 USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
              [--out DIR] [--trace DIR] [--quiet]
        crono trace --bench <NAME> [--threads N] [--scale test|small|paper]
-             [--backend sim|native] [--out FILE] [--capacity N] [--quiet]
+             [--backend sim|native] [--ablation NAME] [--out FILE]
+             [--capacity N] [--quiet]
+       crono trace-diff <A.json> <B.json> [--tolerance F] [--quiet]
 
 COMMANDS:
   table1   Benchmarks and parallelizations
@@ -33,13 +37,20 @@ COMMANDS:
   fig7     OOO completion-time breakdowns
   fig8     OOO speedups
   fig9     Real-machine speedups (native threads)
+  ablation Optimized kernel variants vs defaults (frontier_repr,
+           pagerank_update) across thread counts
   compare  Paper-vs-measured best speedups + qualitative claims
   all      Everything above (shares simulator sweeps)
   trace    One traced run -> Chrome trace JSON (Perfetto-loadable)
+  trace-diff  Compare two traces' counter summaries; exits nonzero if
+           the second regressed (count/arg_sum grew beyond --tolerance,
+           a relative fraction, default 0)
 
 `--trace DIR` re-runs each swept benchmark at its best thread count with
 tracing enabled and writes one trace JSON per benchmark into DIR
 (sweep-based commands only: fig1-fig4, fig6, compare, all).
+`--ablation NAME` traces an optimized kernel variant instead of the
+paper-faithful default (sim or native backend).
 ";
 
 struct Options {
@@ -88,6 +99,7 @@ struct TraceOptions {
     threads: usize,
     scale: Scale,
     backend: TraceBackend,
+    ablation: Option<Ablation>,
     out: PathBuf,
     capacity: usize,
     progress: bool,
@@ -98,11 +110,18 @@ fn parse_trace_args(mut args: impl Iterator<Item = String>) -> Result<TraceOptio
     let mut threads = 16usize;
     let mut scale = Scale::test();
     let mut backend = TraceBackend::Sim;
+    let mut ablation = None;
     let mut out = PathBuf::from("trace.json");
     let mut capacity = TraceConfig::default().capacity;
     let mut progress = true;
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--ablation" => {
+                let name = args.next().ok_or("--ablation needs a value")?;
+                ablation = Some(Ablation::by_name(&name).ok_or_else(|| {
+                    format!("unknown ablation {name:?} (frontier_repr|pagerank_update)")
+                })?);
+            }
             "--bench" => {
                 let name = args.next().ok_or("--bench needs a value")?;
                 bench = Some(
@@ -146,6 +165,7 @@ fn parse_trace_args(mut args: impl Iterator<Item = String>) -> Result<TraceOptio
         threads,
         scale,
         backend,
+        ablation,
         out,
         capacity,
         progress,
@@ -161,22 +181,40 @@ fn trace_command(args: impl Iterator<Item = String>) -> Result<(), String> {
             opts.threads, sim_config.num_cores
         ));
     }
+    if let Some(a) = opts.ablation {
+        if !a.applies_to(opts.bench) {
+            return Err(format!(
+                "ablation {a} does not change {}; it applies to: {}",
+                opts.bench,
+                a.benchmarks()
+                    .iter()
+                    .map(|b| b.label())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
     if opts.progress {
+        let variant = opts
+            .ablation
+            .map(|a| format!(", ablation {a}"))
+            .unwrap_or_default();
         eprintln!(
-            "[trace] {} on {} ({} threads, scale {})",
+            "[trace] {} on {} ({} threads, scale {}{variant})",
             opts.bench,
             opts.backend.name(),
             opts.threads,
             opts.scale.name
         );
     }
-    let trace = run_traced(
+    let trace = run_traced_ablated(
         opts.bench,
         &opts.scale,
         opts.threads,
         opts.backend,
         &sim_config,
         &TraceConfig::with_capacity(opts.capacity),
+        opts.ablation,
     );
     if let Some(dir) = opts.out.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
@@ -186,6 +224,62 @@ fn trace_command(args: impl Iterator<Item = String>) -> Result<(), String> {
     print!("{}", trace.summary());
     println!("wrote {}", opts.out.display());
     Ok(())
+}
+
+/// `crono trace-diff a.json b.json [--tolerance F] [--quiet]`.
+///
+/// Returns `Ok(true)` when the second trace regressed beyond the
+/// tolerance (the caller exits nonzero).
+fn trace_diff_command(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.0f64;
+    let mut progress = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = v
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("invalid tolerance {v:?} (need a fraction >= 0)"))?;
+            }
+            "--quiet" => progress = false,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}\n\n{USAGE}"))
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        return Err(format!("trace-diff needs exactly two trace files\n\n{USAGE}"));
+    };
+    let read = |p: &PathBuf| {
+        std::fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))
+    };
+    let a = CounterSummary::parse(&read(a_path)?)
+        .map_err(|e| format!("{}: {e}", a_path.display()))?;
+    let b = CounterSummary::parse(&read(b_path)?)
+        .map_err(|e| format!("{}: {e}", b_path.display()))?;
+    let diff = TraceDiff::between(&a, &b);
+    if progress || !diff.is_zero() {
+        print!("{}", diff.render());
+    }
+    let regressions = diff.regressions(tolerance);
+    if regressions.is_empty() {
+        if progress {
+            println!("no regressions (tolerance {tolerance})");
+        }
+        Ok(false)
+    } else {
+        let names: Vec<&str> = regressions.iter().map(|r| r.name.as_str()).collect();
+        println!(
+            "REGRESSION: {} event(s) grew beyond tolerance {tolerance}: {}",
+            regressions.len(),
+            names.join(", ")
+        );
+        Ok(true)
+    }
 }
 
 fn emit(tables: &[Table], out: &Option<PathBuf>) {
@@ -209,6 +303,17 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("{e}");
                 ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.peek().map(String::as_str) == Some("trace-diff") {
+        raw.next();
+        return match trace_diff_command(raw) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
             }
         };
     }
@@ -250,6 +355,7 @@ fn main() -> ExitCode {
         "fig7" => tables.push(fig78::fig7(ooo_sweep.as_ref().expect("ooo sweep ran"))),
         "fig8" => tables.push(fig78::fig8(ooo_sweep.as_ref().expect("ooo sweep ran"))),
         "fig9" => tables.push(fig9::generate(&opts.scale, 3, opts.progress)),
+        "ablation" => tables.push(ablation::generate(&opts.scale, &config, opts.progress)),
         "compare" => {
             tables.extend(crono_suite::paper::compare(sweep.as_ref().expect("sweep ran")))
         }
@@ -261,7 +367,7 @@ fn main() -> ExitCode {
     if opts.command == "all" {
         for name in [
             "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "table4",
-            "fig6", "fig7", "fig8", "fig9", "compare",
+            "fig6", "fig7", "fig8", "fig9", "ablation", "compare",
         ] {
             // Emit incrementally so partial results survive interruption.
             let mut batch = Vec::new();

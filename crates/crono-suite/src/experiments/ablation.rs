@@ -1,0 +1,139 @@
+//! Ablation study: optimized kernel variants vs. paper-faithful
+//! defaults (PR 3).
+//!
+//! For every [`Ablation`] and each benchmark it applies to, this runs
+//! the default and the optimized kernel at every swept thread count and
+//! tabulates simulated completion times plus the optimized/default
+//! speedup — characterizing the optimization exactly the way the paper
+//! characterizes everything else (the figures themselves always use the
+//! defaults).
+
+use crate::report::{f2, Table};
+use crate::runner::{run_parallel, run_parallel_ablated};
+use crate::scale::Scale;
+use crate::workload::Workload;
+use crono_algos::{Ablation, Benchmark};
+use crono_graph::gen::road_network;
+use crono_sim::{SimConfig, SimMachine};
+
+/// The canonical core sweep for the ablation comparison: spanning 1 to
+/// 256 simulated cores (the paper's largest machine) regardless of the
+/// scale preset, because the optimized kernels matter most at high core
+/// counts where frontier scans and rank-lock contention dominate.
+pub const CORE_SWEEP: [usize; 5] = [1, 4, 16, 64, 256];
+
+/// One table: per (ablation, benchmark), completion cycles of the
+/// default and optimized kernels at each swept core count, plus the
+/// speedup row (`default / optimized`, so > 1 means the optimization
+/// wins on simulated time).
+pub fn generate(scale: &Scale, config: &SimConfig, progress: bool) -> Table {
+    let threads: Vec<usize> = CORE_SWEEP
+        .iter()
+        .copied()
+        .filter(|&t| t <= config.num_cores)
+        .collect();
+    let mut table = Table::new("Ablation kernels: simulated completion, default vs optimized", {
+        let mut h = vec!["Ablation".to_string(), "Benchmark".to_string(), "Kernel".to_string()];
+        h.extend(threads.iter().map(|t| format!("{t}t")));
+        h
+    });
+    let w = Workload::synthetic(scale);
+    // The active-set CONN_COMP kernel targets long convergence tails, so
+    // it is additionally compared on a high-diameter road-network grid
+    // (label propagation there runs for ~diameter iterations with a
+    // shrinking wavefront — the case the bitmap exists for).
+    let road = {
+        let rows = (scale.sparse_vertices as f64).sqrt() as usize;
+        let cols = scale.sparse_vertices / rows;
+        let mut road_w = Workload::synthetic(scale);
+        road_w.graph = road_network(rows, cols, 64, 0.05, 0.0, 11);
+        road_w
+    };
+    // Untraced (lax-mode) runs are nondeterministic, so each cell is
+    // the median of three runs.
+    const REPS: usize = 3;
+    let median = |mut xs: Vec<u64>| {
+        xs.sort_unstable();
+        xs[xs.len() / 2]
+    };
+    let mut emit = |ablation: Ablation, bench: Benchmark, bench_label: String, w: &Workload| {
+        let mut default_row = Vec::new();
+        let mut optimized_row = Vec::new();
+        for &t in &threads {
+            if progress {
+                eprintln!("[ablation] {ablation}/{bench_label}: {t} threads");
+            }
+            let base = median(
+                (0..REPS)
+                    .map(|_| run_parallel(bench, &SimMachine::new(config.clone(), t), w).completion)
+                    .collect(),
+            );
+            let opt = median(
+                (0..REPS)
+                    .map(|_| {
+                        run_parallel_ablated(
+                            bench,
+                            &SimMachine::new(config.clone(), t),
+                            w,
+                            Some(ablation),
+                        )
+                        .completion
+                    })
+                    .collect(),
+            );
+            default_row.push(base);
+            optimized_row.push(opt);
+        }
+        let label = |kernel: &str| {
+            vec![ablation.name().to_string(), bench_label.clone(), kernel.to_string()]
+        };
+        let mut row = label("default");
+        row.extend(default_row.iter().map(u64::to_string));
+        table.push_row(row);
+        let mut row = label("optimized");
+        row.extend(optimized_row.iter().map(u64::to_string));
+        table.push_row(row);
+        let mut row = label("speedup");
+        row.extend(
+            default_row
+                .iter()
+                .zip(&optimized_row)
+                .map(|(&d, &o)| if o == 0 { f2(0.0) } else { f2(d as f64 / o as f64) }),
+        );
+        table.push_row(row);
+    };
+    for ablation in Ablation::ALL {
+        for &bench in ablation.benchmarks() {
+            emit(ablation, bench, bench.label().to_string(), &w);
+        }
+    }
+    emit(
+        Ablation::FrontierRepr,
+        Benchmark::ConnComp,
+        format!("{}/road", Benchmark::ConnComp.label()),
+        &road,
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_ablated_benchmark_at_every_thread_count() {
+        let scale = Scale::test();
+        let config = SimConfig::tiny(16);
+        let t = generate(&scale, &config, false);
+        // 4 ablated benchmarks + the road-network CONN_COMP comparison,
+        // 3 rows each (default / optimized / speedup).
+        assert_eq!(t.rows.len(), 15);
+        // tiny(16) caps the canonical sweep at [1, 4, 16].
+        let swept = CORE_SWEEP.iter().filter(|&&t| t <= 16).count();
+        for row in &t.rows {
+            assert_eq!(row.len(), 3 + swept);
+        }
+        let stem = t.file_stem();
+        assert_eq!(stem, "ablation_kernels");
+    }
+}

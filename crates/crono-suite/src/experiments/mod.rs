@@ -1,6 +1,7 @@
 //! One regenerator per figure/table of the paper. Each produces
 //! [`crate::report::Table`]s whose rows mirror what the paper plots.
 
+pub mod ablation;
 pub mod fig1;
 pub mod fig2;
 pub mod fig34;

@@ -4,7 +4,8 @@
 use crate::scale::Scale;
 use crate::workload::Workload;
 use crono_algos::{
-    apsp, betweenness, bfs, community, connected, dfs, pagerank, sssp, triangle, tsp, Benchmark,
+    apsp, betweenness, bfs, community, connected, dfs, pagerank, sssp, triangle, tsp, Ablation,
+    Benchmark,
 };
 use crono_runtime::{Machine, NativeMachine, RunReport};
 use crono_sim::{SimConfig, SimMachine};
@@ -26,6 +27,32 @@ pub fn run_parallel<M: Machine>(bench: Benchmark, machine: &M, w: &Workload) -> 
         Benchmark::TriCnt => triangle::parallel(machine, &w.graph).report,
         Benchmark::PageRank => pagerank::parallel(machine, &w.graph, w.pagerank_iters).report,
         Benchmark::Comm => community::parallel(machine, &w.graph, w.comm_rounds).report,
+    }
+}
+
+/// As [`run_parallel`], but substituting the optimized kernel variant
+/// when `ablation` applies to `bench`; every other benchmark runs its
+/// paper-faithful default, so ablated sweeps stay comparable.
+pub fn run_parallel_ablated<M: Machine>(
+    bench: Benchmark,
+    machine: &M,
+    w: &Workload,
+    ablation: Option<Ablation>,
+) -> RunReport {
+    match (ablation, bench) {
+        (Some(Ablation::FrontierRepr), Benchmark::Bfs) => {
+            bfs::parallel_bitmap(machine, &w.graph, w.source).report
+        }
+        (Some(Ablation::FrontierRepr), Benchmark::SsspDijk) => {
+            sssp::parallel_bitmap(machine, &w.graph, w.source).report
+        }
+        (Some(Ablation::FrontierRepr), Benchmark::ConnComp) => {
+            connected::parallel_bitmap(machine, &w.graph).report
+        }
+        (Some(Ablation::PagerankUpdate), Benchmark::PageRank) => {
+            pagerank::parallel_cas(machine, &w.graph, w.pagerank_iters).report
+        }
+        _ => run_parallel(bench, machine, w),
     }
 }
 

@@ -32,10 +32,10 @@
 //! assert!(trace.span_count(0) > 0, "every thread records bfs:level spans");
 //! ```
 
-use crate::runner::run_parallel;
+use crate::runner::run_parallel_ablated;
 use crate::scale::Scale;
 use crate::workload::Workload;
-use crono_algos::Benchmark;
+use crono_algos::{Ablation, Benchmark};
 use crono_runtime::{NativeMachine, RunReport};
 use crono_sim::{SimConfig, SimMachine};
 use crono_trace::{Trace, TraceConfig, TraceMeta};
@@ -93,6 +93,25 @@ pub fn run_traced(
     sim_config: &SimConfig,
     trace_config: &TraceConfig,
 ) -> Trace {
+    run_traced_ablated(bench, scale, threads, backend, sim_config, trace_config, None)
+}
+
+/// As [`run_traced`], but substituting the optimized kernel variant when
+/// `ablation` applies to `bench` (the `crono trace --ablation` path).
+///
+/// # Panics
+///
+/// Panics if `backend` is [`TraceBackend::Sim`] and `threads` exceeds
+/// `sim_config.num_cores`.
+pub fn run_traced_ablated(
+    bench: Benchmark,
+    scale: &Scale,
+    threads: usize,
+    backend: TraceBackend,
+    sim_config: &SimConfig,
+    trace_config: &TraceConfig,
+    ablation: Option<Ablation>,
+) -> Trace {
     let w = Workload::synthetic(scale);
     let report = match backend {
         TraceBackend::Sim => {
@@ -102,11 +121,11 @@ pub fn run_traced(
                 sim_config.num_cores
             );
             let machine = SimMachine::with_tracing(sim_config.clone(), threads, *trace_config);
-            run_parallel(bench, &machine, &w)
+            run_parallel_ablated(bench, &machine, &w, ablation)
         }
         TraceBackend::Native => {
             let machine = NativeMachine::with_tracing(threads, *trace_config);
-            run_parallel(bench, &machine, &w)
+            run_parallel_ablated(bench, &machine, &w, ablation)
         }
     };
     assemble(bench, scale.name, backend, report)

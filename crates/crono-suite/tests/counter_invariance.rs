@@ -1,0 +1,123 @@
+//! Golden counter-invariance gate for the simulator host-path work.
+//!
+//! The PR-3 host-side optimizations (allocation- and refcount-free
+//! `SimCtx::mem_op`/`drain_coherence`, relaxed inbox notification) must
+//! leave every *simulated* number bit-identical: completion time, the
+//! miss classification, coherence/NoC/DRAM energy counters, and the
+//! traced event summaries. This test pins all of them against a golden
+//! fingerprint captured before the rewrite
+//! (`tests/golden_counters.txt`).
+//!
+//! Symbolic addresses come from a process-global bump allocator, so the
+//! fingerprint is only reproducible from a *fresh* process running
+//! nothing else. Like the cross-process determinism test in `crono-sim`,
+//! the test therefore re-executes itself in child mode and compares the
+//! child's output to the checked-in golden file.
+//!
+//! To regenerate after an *intentional* timing-model change:
+//!
+//! ```text
+//! CRONO_GOLDEN_UPDATE=1 cargo test -p crono-suite --test counter_invariance
+//! ```
+
+use crono_algos::Benchmark;
+use crono_sim::{SimConfig, SimMachine};
+use crono_suite::runner::run_parallel;
+use crono_suite::trace::{assemble, TraceBackend};
+use crono_suite::{Scale, Workload};
+use crono_trace::TraceConfig;
+use std::fmt::Write as _;
+
+const GOLDEN: &str = include_str!("golden_counters.txt");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_counters.txt");
+
+/// The exact configuration the golden file was captured under.
+const THREAD_COUNTS: [usize; 3] = [1, 4, 16];
+const BENCHES: [Benchmark; 2] = [Benchmark::Bfs, Benchmark::PageRank];
+
+/// Runs bfs + pagerank at 1/4/16 traced threads on the fixed seeded
+/// `test`-scale graph and renders every simulated counter as text.
+/// Deterministic only in a fresh process (bump-allocated addresses).
+fn fingerprint() -> String {
+    let scale = Scale::test();
+    let w = Workload::synthetic(&scale);
+    let mut out = String::new();
+    for bench in BENCHES {
+        for threads in THREAD_COUNTS {
+            let machine =
+                SimMachine::with_tracing(SimConfig::tiny(16), threads, TraceConfig::default());
+            let report = run_parallel(bench, &machine, &w);
+            let (c, m, e) = (report.completion, report.misses, report.energy);
+            let _ = writeln!(out, "run {} threads={threads}", bench.label());
+            let _ = writeln!(out, "  completion {c}");
+            let _ = writeln!(
+                out,
+                "  misses l1d={} cold={} capacity={} sharing={} l2a={} l2m={}",
+                m.l1d_accesses,
+                m.cold_misses,
+                m.capacity_misses,
+                m.sharing_misses,
+                m.l2_accesses,
+                m.l2_misses
+            );
+            let _ = writeln!(
+                out,
+                "  energy l1i={} l1d={} l2={} dir={} router={} link={} dram={}",
+                e.l1i_accesses,
+                e.l1d_accesses,
+                e.l2_accesses,
+                e.directory_accesses,
+                e.router_flit_hops,
+                e.link_flit_hops,
+                e.dram_accesses
+            );
+            let trace = assemble(bench, scale.name, TraceBackend::Sim, report);
+            let _ = writeln!(out, "  dropped {}", trace.total_dropped());
+            for (name, stat) in trace.counters() {
+                let _ = writeln!(out, "  ctr {name} count={} arg_sum={}", stat.count, stat.arg_sum);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_counters_are_invariant() {
+    if std::env::var_os("CRONO_GOLDEN_CHILD").is_some() {
+        print!("{}", fingerprint());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .args([
+            "--exact",
+            "golden_counters_are_invariant",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("CRONO_GOLDEN_CHILD", "1")
+        .output()
+        .expect("spawn child test process");
+    assert!(out.status.success(), "child failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let got: String = stdout
+        .lines()
+        .filter(|l| l.starts_with("run ") || l.starts_with("  "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(
+        got.contains("run BFS threads=1") && got.contains("run PageRank threads=16"),
+        "child produced no fingerprint:\n{stdout}"
+    );
+    if std::env::var_os("CRONO_GOLDEN_UPDATE").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden file");
+        eprintln!("golden file updated at {GOLDEN_PATH}");
+        return;
+    }
+    assert_eq!(
+        got, GOLDEN,
+        "simulated counters drifted from the golden fingerprint; if the \
+         timing model changed intentionally, regenerate with \
+         CRONO_GOLDEN_UPDATE=1"
+    );
+}

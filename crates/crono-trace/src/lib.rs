@@ -44,8 +44,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod json;
 mod ring;
 
+pub use diff::{CounterDelta, CounterSummary, TraceDiff};
 pub use json::{Trace, TraceMeta};
 pub use ring::{CounterStat, Event, EventKind, ThreadTrace, ThreadTracer, TraceConfig};

@@ -41,6 +41,11 @@ CRONO_BENCH_SAMPLES=1 CRONO_BENCH_WARMUP_MS=1 CRONO_BENCH_MEASURE_MS=50 \
   cargo bench -q -p crono-bench --offline >/dev/null
 echo "bench targets ran; JSON reports under results/"
 
+echo "==> golden counter-invariance test"
+# Re-runs the simulated-counter fingerprint gate by name: host-side
+# optimizations must never change a simulated counter.
+cargo test -q --offline -p crono-suite --test counter_invariance
+
 echo "==> trace smoke test"
 trace_out=$(mktemp -d)
 trap 'rm -rf "$trace_out"' EXIT
@@ -65,6 +70,16 @@ else
   grep -q '"ph":"B"' "$trace_out/trace.json"
   echo "trace OK (python3 unavailable; grep-validated)"
 fi
+
+echo "==> trace-diff smoke test"
+# Two traced sim runs of the same configuration must serialize to
+# identical counters; `crono trace-diff` must report a zero delta.
+./target/release/crono trace --bench pagerank --scale test --threads 4 \
+  --quiet --out "$trace_out/a.json"
+./target/release/crono trace --bench pagerank --scale test --threads 4 \
+  --quiet --out "$trace_out/b.json"
+./target/release/crono trace-diff "$trace_out/a.json" "$trace_out/b.json" --quiet
+echo "trace-diff OK: identical configs produce a zero counter delta"
 
 echo "==> tracked-file audit: no build artifacts in git"
 if git ls-files | grep -q '^target/'; then
