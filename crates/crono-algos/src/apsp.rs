@@ -94,6 +94,9 @@ pub(crate) fn capture_sources<C: ThreadCtx>(
     result: &SharedU32s,
 ) {
     loop {
+        if ctx.cancelled() {
+            break;
+        }
         // Vertex capture: threads compete for source vertices.
         let s = counter.fetch_add(ctx, 0, 1) as usize;
         if s >= n {

@@ -56,6 +56,9 @@ pub fn parallel<M: Machine>(
         let tid = ctx.thread_id();
         let nthreads = ctx.num_threads();
         for v in chunk(n, tid, nthreads) {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.record_active(1);
             let mut count = 0u64;
             for s in 0..n {

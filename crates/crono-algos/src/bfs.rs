@@ -102,6 +102,9 @@ pub fn parallel<M: Machine>(
         let nthreads = ctx.num_threads();
         let mut depth = 0u32;
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("bfs:level");
             let cur = &fronts[(depth as usize) % 2];
             let next = &fronts[(depth as usize + 1) % 2];
@@ -195,6 +198,9 @@ pub fn parallel_bitmap<M: Machine>(
         let nthreads = ctx.num_threads();
         let mut depth = 0u32;
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("bfs:level");
             let cur = &fronts[(depth as usize) % 2];
             let next = &fronts[(depth as usize + 1) % 2];
@@ -281,6 +287,9 @@ pub fn parallel_inner<M: Machine>(
         let mut depth = 0u32;
         let mut processed: Vec<usize> = Vec::new();
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             let cur = &fronts[(depth as usize) % 2];
             let next = &fronts[(depth as usize + 1) % 2];
             activations.set(ctx, (depth as usize + 2) % 3, 0);

@@ -60,6 +60,9 @@ pub fn parallel<M: Machine>(
         let nthreads = ctx.num_threads();
         let mut round = 0usize;
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             moves_made.set(ctx, (round + 2) % 3, 0);
             let mut local_moves = 0u64;
             for v in chunk(n, tid, nthreads) {

@@ -38,6 +38,9 @@ pub fn parallel<M: Machine>(machine: &M, graph: &CsrGraph) -> AlgoOutcome<ConnCo
         let nthreads = ctx.num_threads();
         let mut iter = 0usize;
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("conncomp:iter");
             changes.set(ctx, (iter + 2) % 3, 0);
             let mut local_changes = 0u64;
@@ -143,6 +146,9 @@ pub fn parallel_bitmap<M: Machine>(machine: &M, graph: &CsrGraph) -> AlgoOutcome
         // the min-pull just loaded.
         let mut nbrs: Vec<(usize, u32)> = Vec::new();
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("conncomp:iter");
             let cur = &active_sets[iter % 2];
             let next = &active_sets[(iter + 1) % 2];

@@ -48,6 +48,9 @@ pub fn parallel<M: Machine>(
         let tid = ctx.thread_id();
         let nthreads = ctx.num_threads();
         for _ in 0..iterations {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("pagerank:iter");
             // Push phase: scatter contributions to neighbors.
             let mut active = 0u64;
@@ -121,6 +124,9 @@ pub fn parallel_cas<M: Machine>(
         let tid = ctx.thread_id();
         let nthreads = ctx.num_threads();
         for _ in 0..iterations {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("pagerank:iter");
             let mut active = 0u64;
             for v in chunk(n, tid, nthreads) {

@@ -120,6 +120,9 @@ pub fn parallel<M: Machine>(
         let nthreads = ctx.num_threads();
         let mut round = 0usize;
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("sssp:round");
             let cur = &fronts[round % 2];
             let next = &fronts[(round + 1) % 2];
@@ -219,6 +222,9 @@ pub fn parallel_bitmap<M: Machine>(
         let nthreads = ctx.num_threads();
         let mut round = 0usize;
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             ctx.span_begin("sssp:round");
             let cur = &fronts[round % 2];
             let next = &fronts[(round + 1) % 2];
@@ -313,6 +319,9 @@ pub fn parallel_inner<M: Machine>(
         let mut round = 0usize;
         let mut processed: Vec<usize> = Vec::new();
         loop {
+            if ctx.cancelled() {
+                break;
+            }
             let cur = &fronts[round % 2];
             let next = &fronts[(round + 1) % 2];
             activations.set(ctx, (round + 2) % 3, 0);

@@ -181,6 +181,9 @@ pub fn parallel<M: Machine>(machine: &M, instance: &TspInstance) -> AlgoOutcome<
         // Branches designated at static time: round-robin over threads.
         let mut b = ctx.thread_id();
         while b < prefixes.len() {
+            if ctx.cancelled() {
+                break;
+            }
             let mut path = prefixes[b].clone();
             let mut mask = 0u64;
             let mut cost = 0u64;

@@ -16,6 +16,13 @@
 use crate::{CsrGraph, EdgeList, GraphError, VertexId, Weight};
 use std::io::{BufRead, BufReader, Read, Write};
 
+/// Cap on the edge capacity pre-reserved from a file's *declared* sizes.
+/// The declared counts are untrusted input: a hostile header like
+/// `p sp 4000000000 4000000000` must not reserve gigabytes up front.
+/// Larger (honest) files still load — the vectors grow as real edges
+/// arrive — this only bounds the speculative reservation.
+const MAX_PREALLOC_EDGES: usize = 1 << 20;
+
 /// Reads a whitespace-separated edge list.
 ///
 /// Pass `undirected = true` to mirror every edge (SNAP road networks list
@@ -101,8 +108,9 @@ pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Re
 /// ```
 pub fn read_dimacs<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     let reader = BufReader::new(reader);
-    let mut declared: Option<(usize, usize)> = None;
-    let mut el: Option<EdgeList> = None;
+    // Declared arc count + the edges parsed so far, both set by the one
+    // `p` line — a single Option so arcs can never exist without it.
+    let mut parsed: Option<(usize, EdgeList)> = None;
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim();
@@ -111,6 +119,12 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("p ") {
+            if parsed.is_some() {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: "duplicate problem line".to_string(),
+                });
+            }
             let mut parts = rest.split_whitespace();
             let kind = parts.next().unwrap_or("");
             if kind != "sp" {
@@ -121,13 +135,14 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             }
             let n = parse_field(parts.next(), lineno, "vertex count")? as usize;
             let m = parse_field(parts.next(), lineno, "edge count")? as usize;
-            declared = Some((n, m));
-            el = Some(EdgeList::with_capacity(n, m));
+            parsed = Some((m, EdgeList::with_capacity(n, m.min(MAX_PREALLOC_EDGES))));
         } else if let Some(rest) = line.strip_prefix("a ") {
-            let el = el.as_mut().ok_or_else(|| GraphError::Parse {
-                line: lineno,
-                message: "arc before problem line".to_string(),
-            })?;
+            let Some((_, el)) = parsed.as_mut() else {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: "arc before problem line".to_string(),
+                });
+            };
             let mut parts = rest.split_whitespace();
             let src = parse_field(parts.next(), lineno, "arc source")?;
             let dst = parse_field(parts.next(), lineno, "arc destination")?;
@@ -146,18 +161,18 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             });
         }
     }
-    let (n, m) = declared.ok_or_else(|| GraphError::Parse {
-        line: 0,
-        message: "missing problem line".to_string(),
-    })?;
-    let el = el.expect("edge list exists when problem line was seen");
+    let Some((m, el)) = parsed else {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "missing problem line".to_string(),
+        });
+    };
     if el.len() != m {
         return Err(GraphError::Parse {
             line: 0,
             message: format!("problem line declared {m} arcs but file has {}", el.len()),
         });
     }
-    debug_assert_eq!(el.num_vertices(), n);
     Ok(el.into_csr())
 }
 
@@ -227,8 +242,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     let symmetric = fields.get(4).map(|s| s.to_ascii_lowercase())
         == Some("symmetric".to_string());
 
-    let mut el: Option<EdgeList> = None;
-    let mut declared_entries = 0usize;
+    // Declared entry count + the edges parsed so far, both set by the
+    // one size line — a single Option so entries can never exist
+    // without it.
+    let mut parsed: Option<(usize, EdgeList)> = None;
     let mut seen_entries = 0usize;
     for (idx, line) in lines {
         let line = line?;
@@ -238,20 +255,20 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        if el.is_none() {
+        let Some((_, el)) = parsed.as_mut() else {
             let rows = parse_field(parts.next(), lineno, "row count")? as usize;
             let cols = parse_field(parts.next(), lineno, "column count")? as usize;
-            declared_entries = parse_field(parts.next(), lineno, "entry count")? as usize;
+            let declared = parse_field(parts.next(), lineno, "entry count")? as usize;
             if rows != cols {
                 return Err(GraphError::Parse {
                     line: lineno,
                     message: format!("graph matrices must be square, got {rows}x{cols}"),
                 });
             }
-            el = Some(EdgeList::with_capacity(rows, 2 * declared_entries));
+            let cap = declared.saturating_mul(2).min(MAX_PREALLOC_EDGES);
+            parsed = Some((declared, EdgeList::with_capacity(rows, cap)));
             continue;
-        }
-        let el = el.as_mut().expect("size line parsed");
+        };
         let row = parse_field(parts.next(), lineno, "row index")?;
         let col = parse_field(parts.next(), lineno, "column index")?;
         if row == 0 || col == 0 {
@@ -286,10 +303,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
         }
         seen_entries += 1;
     }
-    let el = el.ok_or_else(|| GraphError::Parse {
-        line: 0,
-        message: "missing size line".to_string(),
-    })?;
+    let Some((declared_entries, el)) = parsed else {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "missing size line".to_string(),
+        });
+    };
     if seen_entries != declared_entries {
         return Err(GraphError::Parse {
             line: 0,

@@ -1,0 +1,234 @@
+//! Run-wide cancellation: a cancellation token fused with a cancellable
+//! barrier and a wall-clock watchdog.
+//!
+//! Both backends spawn one worker per thread and rendezvous them at
+//! kernel barriers. A plain [`std::sync::Barrier`] deadlocks the moment
+//! one worker dies — the survivors wait for an arrival that never comes.
+//! [`RunGate`] replaces it: one generation-counting barrier whose waiters
+//! are *also* released when the run is cancelled (by a contained worker
+//! panic or by the [`RunGate::watchdog`] timeout), so surviving workers
+//! drain out at their next barrier or iteration boundary instead of
+//! hanging. After cancellation every `barrier_wait` returns immediately
+//! with `false`; results of a cancelled run are discarded by the caller,
+//! so the post-cancellation execution only needs to terminate, not to
+//! stay meaningful.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// A worker thread panicked; its panic was contained.
+    WorkerPanic,
+    /// The wall-clock watchdog ([`crate::RunOptions::timeout`]) expired.
+    Timeout,
+}
+
+#[derive(Debug)]
+struct GateState {
+    cause: Option<CancelCause>,
+    arrived: usize,
+    generation: u64,
+    /// Set by the backend after all workers joined; releases the watchdog.
+    done: bool,
+}
+
+/// Cancellation token + cancellable sense barrier + watchdog, shared by
+/// every worker of one run.
+#[derive(Debug)]
+pub struct RunGate {
+    threads: usize,
+    /// Fast-path mirror of `cause.is_some()` for per-iteration polling.
+    flag: AtomicBool,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl RunGate {
+    /// A gate for a run of `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        RunGate {
+            threads,
+            flag: AtomicBool::new(false),
+            state: Mutex::new(GateState {
+                cause: None,
+                arrived: 0,
+                generation: 0,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poison-transparent lock: a panicking worker must not mask its own
+    /// panic by aborting every other thread on a poisoned mutex.
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether the run has been cancelled (cheap enough to poll from
+    /// kernel inner loops).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The first cancellation cause, if any.
+    pub fn cause(&self) -> Option<CancelCause> {
+        self.lock().cause
+    }
+
+    /// Cancels the run, releasing every barrier waiter. The first cause
+    /// wins; returns whether this call was the one that cancelled.
+    pub fn cancel(&self, cause: CancelCause) -> bool {
+        let mut s = self.lock();
+        if s.cause.is_some() {
+            return false;
+        }
+        s.cause = Some(cause);
+        self.flag.store(true, Ordering::Release);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Waits until all `threads` workers arrive (returns `true`) or the
+    /// run is cancelled (returns `false`, immediately once cancelled).
+    pub fn barrier_wait(&self) -> bool {
+        let mut s = self.lock();
+        if s.cause.is_some() {
+            return false;
+        }
+        s.arrived += 1;
+        if s.arrived == self.threads {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let gen = s.generation;
+        while s.generation == gen && s.cause.is_none() {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.cause.is_none()
+    }
+
+    /// Marks the run finished (all workers joined); releases the
+    /// watchdog. Must be called inside the thread scope so the watchdog
+    /// thread exits before the scope does.
+    pub fn finish(&self) {
+        let mut s = self.lock();
+        s.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the run finishes or `timeout` elapses; on expiry
+    /// cancels the run with [`CancelCause::Timeout`]. Run on a dedicated
+    /// watchdog thread.
+    pub fn watchdog(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.lock();
+        loop {
+            if s.done || s.cause.is_some() {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                s.cause = Some(CancelCause::Timeout);
+                self.flag.store(true, Ordering::Release);
+                self.cv.notify_all();
+                return;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+        }
+    }
+}
+
+/// Renders a caught panic payload for [`crate::RunError::WorkerPanicked`]
+/// (public so backend crates can report panics the same way).
+pub fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        let gate = Arc::new(RunGate::new(4));
+        let passed: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || gate.barrier_wait())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(passed, vec![true; 4]);
+    }
+
+    #[test]
+    fn cancel_releases_parked_waiters() {
+        let gate = Arc::new(RunGate::new(3));
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || gate.barrier_wait())
+                })
+                .collect();
+            // The third thread never arrives — it "panicked".
+            std::thread::sleep(Duration::from_millis(10));
+            gate.cancel(CancelCause::WorkerPanic);
+            waiters.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results, vec![false, false]);
+        // Subsequent waits return immediately.
+        assert!(!gate.barrier_wait());
+        assert_eq!(gate.cause(), Some(CancelCause::WorkerPanic));
+    }
+
+    #[test]
+    fn first_cancel_cause_wins() {
+        let gate = RunGate::new(1);
+        assert!(gate.cancel(CancelCause::Timeout));
+        assert!(!gate.cancel(CancelCause::WorkerPanic));
+        assert_eq!(gate.cause(), Some(CancelCause::Timeout));
+    }
+
+    #[test]
+    fn watchdog_cancels_after_timeout() {
+        let gate = Arc::new(RunGate::new(1));
+        std::thread::scope(|scope| {
+            let g = Arc::clone(&gate);
+            scope.spawn(move || g.watchdog(Duration::from_millis(5)));
+        });
+        assert_eq!(gate.cause(), Some(CancelCause::Timeout));
+        assert!(gate.is_cancelled());
+    }
+
+    #[test]
+    fn watchdog_exits_quietly_when_run_finishes() {
+        let gate = Arc::new(RunGate::new(1));
+        std::thread::scope(|scope| {
+            let g = Arc::clone(&gate);
+            scope.spawn(move || g.watchdog(Duration::from_secs(60)));
+            gate.finish();
+        });
+        assert_eq!(gate.cause(), None);
+    }
+}

@@ -89,6 +89,17 @@ pub trait ThreadCtx {
         false
     }
 
+    /// Whether this run has been cancelled (a worker panicked or the
+    /// watchdog timed out). Kernels poll this at iteration boundaries and
+    /// drain out early when it turns `true`; after cancellation the
+    /// backend barriers no longer block, so threads may break at
+    /// different iterations without deadlocking. Default `false` (a
+    /// backend without cancellation support never cancels).
+    #[inline(always)]
+    fn cancelled(&self) -> bool {
+        false
+    }
+
     /// Convenience: lock striping. Maps an arbitrary index (e.g. a vertex
     /// id) onto a lock of `set`.
     fn lock_for(&mut self, set: &LockSet, key: usize) {

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod cancel;
 mod ctx;
 mod locks;
 mod machine;
@@ -54,14 +55,17 @@ mod shared;
 mod sync;
 
 pub use addr::{alloc_region, Addr, Region, LINE_SIZE};
+pub use cancel::{panic_payload, CancelCause, RunGate};
 pub use ctx::ThreadCtx;
 pub use locks::{LockSet, LOCK_EPOCH_CYCLES};
 pub use sync::{
     CachePadded, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
-pub use machine::{Machine, RunOutcome};
+pub use machine::{Machine, RunError, RunOptions, RunOutcome};
 pub use native::{NativeCtx, NativeMachine};
-pub use report::{Breakdown, EnergyCounters, MissStats, RunReport, ThreadReport};
+pub use report::{
+    Breakdown, EnergyCounters, FaultCounters, MissStats, RunReport, ThreadReport,
+};
 pub use shared::{
     ReadArray, SharedBitmap, SharedF64s, SharedFlags, SharedU32s, SharedU64s, TrackedVec,
 };

@@ -1,8 +1,10 @@
+use crate::cancel::{panic_payload, CancelCause, RunGate};
 use crate::{
-    Addr, LockSet, Machine, RunOutcome, RunReport, ThreadCtx, ThreadReport,
+    Addr, LockSet, Machine, RunError, RunOptions, RunOutcome, RunReport, ThreadCtx, ThreadReport,
 };
 use crono_trace::{ThreadTracer, TraceConfig};
-use std::sync::{Arc, Barrier};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The real-machine backend (paper §IV-C / §VI): benchmarks run on host
@@ -15,6 +17,11 @@ use std::time::Instant;
 /// trace hooks monomorphize to a branch on an always-`None` option for
 /// the low-frequency sync hooks and to *nothing* for the memory hooks,
 /// so the measured kernel is unchanged.
+///
+/// Worker panics are contained (see [`Machine::try_run_with`]): a
+/// panicking thread cancels the run via the shared [`RunGate`], the
+/// surviving threads drain out of their barriers, and the caller gets a
+/// typed [`RunError`] instead of a process abort.
 ///
 /// # Examples
 ///
@@ -68,32 +75,47 @@ impl Machine for NativeMachine {
         "native"
     }
 
-    fn run<F, R>(&self, body: F) -> RunOutcome<R>
+    fn try_run_with<F, R>(&self, opts: &RunOptions, body: F) -> Result<RunOutcome<R>, RunError>
     where
         F: Fn(&mut Self::Ctx) -> R + Sync,
         R: Send,
     {
-        let barrier = Arc::new(Barrier::new(self.threads));
+        let gate = Arc::new(RunGate::new(self.threads));
         let start = Instant::now();
-        let mut results: Vec<Option<(R, ThreadReport)>> = Vec::new();
+        let mut results: Vec<Option<(Result<R, String>, ThreadReport)>> = Vec::new();
         results.resize_with(self.threads, || None);
         std::thread::scope(|scope| {
+            if let Some(timeout) = opts.timeout {
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || gate.watchdog(timeout));
+            }
             let mut handles = Vec::with_capacity(self.threads);
             for tid in 0..self.threads {
                 let body = &body;
-                let barrier = Arc::clone(&barrier);
+                let gate = Arc::clone(&gate);
                 let trace = self.trace;
                 handles.push(scope.spawn(move || {
                     let mut ctx = NativeCtx {
                         tid,
                         nthreads: self.threads,
                         instructions: 0,
-                        barrier,
+                        gate: Arc::clone(&gate),
                         start: Instant::now(),
                         active_samples: Vec::new(),
                         tracer: trace.map(|c| ThreadTracer::from_config(&c)),
                     };
-                    let r = body(&mut ctx);
+                    // Contain panics: cancel the run so survivors drain
+                    // out of their barriers instead of deadlocking, and
+                    // hand the payload back as a typed error. The context
+                    // is only borrowed by the closure, so the thread's
+                    // partial report survives its panic.
+                    let r = match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+                        Ok(v) => Ok(v),
+                        Err(p) => {
+                            gate.cancel(CancelCause::WorkerPanic);
+                            Err(panic_payload(p))
+                        }
+                    };
                     let report = ThreadReport {
                         instructions: ctx.instructions,
                         finish_time: ctx.start.elapsed().as_nanos() as u64,
@@ -105,16 +127,24 @@ impl Machine for NativeMachine {
                 }));
             }
             for (tid, h) in handles.into_iter().enumerate() {
-                results[tid] = Some(h.join().expect("benchmark thread panicked"));
+                // The worker caught its own panic; join only fails if the
+                // panic payload itself panicked while being dropped.
+                results[tid] = Some(h.join().expect("worker thread vanished"));
             }
+            gate.finish();
         });
         let wall = start.elapsed();
         let mut per_thread = Vec::with_capacity(self.threads);
         let mut threads = Vec::with_capacity(self.threads);
-        for slot in results {
+        let mut first_panic: Option<(usize, String)> = None;
+        for (tid, slot) in results.into_iter().enumerate() {
             let (r, t) = slot.expect("every thread joined");
-            per_thread.push(r);
             threads.push(t);
+            match r {
+                Ok(v) => per_thread.push(v),
+                Err(payload) if first_panic.is_none() => first_panic = Some((tid, payload)),
+                Err(_) => {}
+            }
         }
         let report = RunReport {
             backend: self.backend_name(),
@@ -123,8 +153,18 @@ impl Machine for NativeMachine {
             threads,
             misses: Default::default(),
             energy: Default::default(),
+            faults: Default::default(),
         };
-        RunOutcome { per_thread, report }
+        if let Some((tid, payload)) = first_panic {
+            return Err(RunError::WorkerPanicked { tid, payload, report });
+        }
+        if gate.cause() == Some(CancelCause::Timeout) {
+            return Err(RunError::TimedOut {
+                timeout: opts.timeout.unwrap_or_default(),
+                report,
+            });
+        }
+        Ok(RunOutcome { per_thread, report })
     }
 }
 
@@ -134,7 +174,7 @@ pub struct NativeCtx {
     tid: usize,
     nthreads: usize,
     instructions: u64,
-    barrier: Arc<Barrier>,
+    gate: Arc<RunGate>,
     start: Instant,
     active_samples: Vec<(u64, u64)>,
     tracer: Option<ThreadTracer>,
@@ -144,6 +184,28 @@ impl NativeCtx {
     #[inline]
     fn now(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Spin-acquire with a cancellation check: a cancelled run may never
+    /// release the lock (its holder panicked), so waiters bail out and
+    /// drain. Results of a cancelled run are discarded, so returning
+    /// without the lock is safe.
+    fn acquire_or_drain(&self, set: &LockSet, idx: usize) {
+        let mut spins = 0u32;
+        loop {
+            if set.try_acquire_raw(idx) {
+                return;
+            }
+            if self.gate.is_cancelled() {
+                return;
+            }
+            spins = spins.wrapping_add(1);
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
     }
 }
 
@@ -183,12 +245,12 @@ impl ThreadCtx for NativeCtx {
         self.instructions += 1;
         if self.tracer.is_some() {
             let t0 = self.now();
-            set.acquire_raw(idx);
+            self.acquire_or_drain(set, idx);
             let dur = self.now().saturating_sub(t0);
             let tr = self.tracer.as_mut().expect("checked above");
             tr.complete("sync", "lock_wait", t0, dur);
         } else {
-            set.acquire_raw(idx);
+            self.acquire_or_drain(set, idx);
         }
     }
 
@@ -202,12 +264,12 @@ impl ThreadCtx for NativeCtx {
         self.instructions += 1;
         if self.tracer.is_some() {
             let t0 = self.now();
-            self.barrier.wait();
+            self.gate.barrier_wait();
             let dur = self.now().saturating_sub(t0);
             let tr = self.tracer.as_mut().expect("checked above");
             tr.complete("sync", "barrier_wait", t0, dur);
         } else {
-            self.barrier.wait();
+            self.gate.barrier_wait();
         }
     }
 
@@ -252,12 +314,18 @@ impl ThreadCtx for NativeCtx {
     fn tracing(&self) -> bool {
         self.tracer.is_some()
     }
+
+    #[inline(always)]
+    fn cancelled(&self) -> bool {
+        self.gate.is_cancelled()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::SharedU64s;
+    use std::time::Duration;
 
     #[test]
     fn all_threads_run_once() {
@@ -336,5 +404,94 @@ mod tests {
             }
             assert_eq!(trace.dropped, 0);
         }
+    }
+
+    /// The panic-containment regression test: one worker panics while the
+    /// others wait at barriers — without containment this deadlocks (the
+    /// survivors wait for an arrival that never comes) or aborts the
+    /// process. It must instead return a typed error carrying every
+    /// thread's report, and leave the machine usable.
+    #[test]
+    fn worker_panic_returns_typed_error_without_deadlock() {
+        let m = NativeMachine::new(4);
+        let err = m
+            .try_run(|ctx| {
+                if ctx.thread_id() == 2 {
+                    panic!("boom on tid 2");
+                }
+                for _ in 0..10 {
+                    ctx.compute(5);
+                    ctx.barrier();
+                }
+                ctx.thread_id()
+            })
+            .expect_err("a panicking worker must fail the run");
+        match &err {
+            RunError::WorkerPanicked { tid, payload, report } => {
+                assert_eq!(*tid, 2);
+                assert!(payload.contains("boom on tid 2"), "{payload:?}");
+                // Survivors' reports are intact (4 threads, all joined).
+                assert_eq!(report.threads.len(), 4);
+                assert!(report.threads[0].instructions > 0);
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(err.to_string().contains("worker thread 2 panicked"));
+        // The machine is recoverable: the next run succeeds.
+        let outcome = m.run(|ctx| ctx.thread_id());
+        assert_eq!(outcome.per_thread, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_while_holding_a_lock_does_not_hang_waiters() {
+        let m = NativeMachine::new(3);
+        let locks = LockSet::new(1);
+        let err = m
+            .try_run(|ctx| {
+                ctx.lock(&locks, 0);
+                if ctx.thread_id() == 0 {
+                    panic!("died holding the lock");
+                }
+                ctx.unlock(&locks, 0);
+            })
+            .expect_err("panicked run");
+        assert!(matches!(err, RunError::WorkerPanicked { tid: 0, .. }));
+    }
+
+    /// The watchdog cancels a kernel that never terminates on its own;
+    /// workers observe `cancelled()` and drain.
+    #[test]
+    fn timeout_watchdog_cancels_hung_kernel() {
+        let m = NativeMachine::new(2);
+        let opts = RunOptions {
+            timeout: Some(Duration::from_millis(20)),
+        };
+        let err = m
+            .try_run_with(&opts, |ctx| {
+                while !ctx.cancelled() {
+                    ctx.compute(1);
+                }
+                ctx.thread_id()
+            })
+            .expect_err("hung kernel must time out");
+        match err {
+            RunError::TimedOut { timeout, report } => {
+                assert_eq!(timeout, Duration::from_millis(20));
+                assert_eq!(report.threads.len(), 2);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_runs_beat_the_watchdog() {
+        let m = NativeMachine::new(2);
+        let opts = RunOptions {
+            timeout: Some(Duration::from_secs(60)),
+        };
+        let outcome = m
+            .try_run_with(&opts, |ctx| ctx.thread_id())
+            .expect("fast run completes before the watchdog");
+        assert_eq!(outcome.per_thread, vec![0, 1]);
     }
 }

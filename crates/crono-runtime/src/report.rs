@@ -150,6 +150,44 @@ impl EnergyCounters {
     }
 }
 
+/// Counters of injected simulated faults and the recovery actions the
+/// machine model took (simulated backend with a fault plan attached;
+/// all-zero otherwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// NoC messages whose flits were corrupted in flight and had to be
+    /// retransmitted (each retransmission re-pays the traversal latency
+    /// and re-charges link contention).
+    pub noc_retransmits: u64,
+    /// DRAM reads with a bit error the ECC code corrected in place (no
+    /// timing cost).
+    pub dram_ecc_corrected: u64,
+    /// DRAM reads with a detected-but-uncorrectable ECC error; the
+    /// controller re-reads the line, paying a second access.
+    pub dram_ecc_detected: u64,
+    /// Transient per-core stall events (a core going slow/offline for a
+    /// window of cycles).
+    pub core_stalls: u64,
+    /// Total cycles lost to core stall events.
+    pub core_stall_cycles: u64,
+}
+
+impl FaultCounters {
+    /// Component-wise addition.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.noc_retransmits += other.noc_retransmits;
+        self.dram_ecc_corrected += other.dram_ecc_corrected;
+        self.dram_ecc_detected += other.dram_ecc_detected;
+        self.core_stalls += other.core_stalls;
+        self.core_stall_cycles += other.core_stall_cycles;
+    }
+
+    /// Total number of injected fault events.
+    pub fn total_events(&self) -> u64 {
+        self.noc_retransmits + self.dram_ecc_corrected + self.dram_ecc_detected + self.core_stalls
+    }
+}
+
 /// Per-thread results collected by every backend.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadReport {
@@ -187,6 +225,9 @@ pub struct RunReport {
     pub misses: MissStats,
     /// Aggregate energy event counters (simulated backend only).
     pub energy: EnergyCounters,
+    /// Aggregate injected-fault counters (simulated backend with a fault
+    /// plan; all-zero otherwise).
+    pub faults: FaultCounters,
 }
 
 impl RunReport {
@@ -284,6 +325,24 @@ mod tests {
     #[test]
     fn variability_of_empty_report_is_zero() {
         assert_eq!(RunReport::default().variability(), 0.0);
+    }
+
+    #[test]
+    fn fault_counters_merge_and_total() {
+        let mut a = FaultCounters {
+            noc_retransmits: 3,
+            dram_ecc_corrected: 1,
+            ..FaultCounters::default()
+        };
+        let b = FaultCounters {
+            dram_ecc_detected: 2,
+            core_stalls: 4,
+            core_stall_cycles: 8000,
+            ..FaultCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_events(), 3 + 1 + 2 + 4);
+        assert_eq!(a.core_stall_cycles, 8000);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 mod cache;
 mod config;
 mod dram;
+mod fault;
 mod inbox;
 mod l1;
 mod l2;
@@ -58,6 +59,7 @@ mod sharer;
 pub use cache::SetAssocCache;
 pub use config::{CacheConfig, CoreModel, DramConfig, MeshConfig, RoutingPolicy, SimConfig};
 pub use dram::{Dram, DramAccess};
+pub use fault::{EccOutcome, FaultPlan};
 pub use l1::{L1Cache, L1Lookup, L1State, MissClass};
 pub use l2::{home_of, DirEntry, HomeLine, L2Slice, VictimInfo, HOME_EPOCH_CYCLES};
 pub use machine::{SimCtx, SimMachine};

@@ -17,19 +17,21 @@
 
 use crate::config::SimConfig;
 use crate::dram::Dram;
+use crate::fault::{EccOutcome, FaultPlan};
 use crate::inbox::{CoherenceMsg, Inboxes};
 use crate::l1::{L1Cache, L1Lookup, L1State, MissClass};
 use crate::l2::{home_of, L2Slice};
-use crate::noc::Mesh;
+use crate::noc::{Mesh, Traversal};
 use crate::sequencer::Sequencer;
 use crono_runtime::{
-    Addr, Breakdown, EnergyCounters, LockSet, Machine, MissStats, RunOutcome, RunReport,
-    ThreadCtx, ThreadReport,
+    panic_payload, Addr, Breakdown, CancelCause, EnergyCounters, FaultCounters, LockSet, Machine,
+    MissStats, RunError, RunGate, RunOptions, RunOutcome, RunReport, ThreadCtx, ThreadReport,
 };
 use crono_runtime::Mutex;
 use crono_trace::{ThreadTracer, TraceConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The Graphite-style simulated multicore backend (paper §IV-B).
@@ -53,6 +55,11 @@ pub struct SimMachine {
     config: SimConfig,
     threads: usize,
     trace: Option<TraceConfig>,
+    faults: Option<FaultPlan>,
+    /// Run under the deterministic sequencer even without a tracer
+    /// attached (fault-injection experiments need reproducible runs but
+    /// not necessarily traces).
+    deterministic: bool,
 }
 
 impl SimMachine {
@@ -71,7 +78,13 @@ impl SimMachine {
             "cannot run {threads} threads on {} cores",
             config.num_cores
         );
-        SimMachine { config, threads, trace: None }
+        SimMachine {
+            config,
+            threads,
+            trace: None,
+            faults: None,
+            deterministic: false,
+        }
     }
 
     /// As [`SimMachine::new`], with per-thread event tracing enabled.
@@ -88,6 +101,35 @@ impl SimMachine {
         let mut m = Self::new(config, threads);
         m.trace = Some(trace);
         m
+    }
+
+    /// As [`SimMachine::new`], with deterministic fault injection
+    /// enabled: the run executes under the deterministic sequencer (so
+    /// identical inputs in a fresh process give byte-identical counters)
+    /// and `plan` decides every NoC, DRAM-ECC, and core-stall fault.
+    /// Injected fault counts land in
+    /// [`RunReport::faults`](crono_runtime::RunReport::faults).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SimMachine::new`], plus an invalid `plan`
+    /// (see [`FaultPlan::validate`]).
+    pub fn with_faults(config: SimConfig, threads: usize, plan: FaultPlan) -> Self {
+        Self::new(config, threads).fault_plan(plan)
+    }
+
+    /// Attaches a fault plan to this machine (composable with
+    /// [`SimMachine::with_tracing`]); also forces deterministic
+    /// sequenced execution, like [`SimMachine::with_faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` is invalid (see [`FaultPlan::validate`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        plan.validate();
+        self.faults = Some(plan);
+        self.deterministic = true;
+        self
     }
 
     /// The architectural configuration in force.
@@ -107,7 +149,7 @@ impl Machine for SimMachine {
         "sim"
     }
 
-    fn run<F, R>(&self, body: F) -> RunOutcome<R>
+    fn try_run_with<F, R>(&self, opts: &RunOptions, body: F) -> Result<RunOutcome<R>, RunError>
     where
         F: Fn(&mut Self::Ctx) -> R + Sync,
         R: Send,
@@ -115,39 +157,78 @@ impl Machine for SimMachine {
         let shared = Arc::new(SimShared::new(
             &self.config,
             self.threads,
-            self.trace.is_some(),
+            self.trace.is_some() || self.deterministic,
         ));
         let start = Instant::now();
-        let mut results: Vec<Option<(R, ThreadReport, MissStats, EnergyCounters)>> = Vec::new();
+        type Slot<R> = (Result<R, String>, ThreadReport, MissStats, EnergyCounters, FaultCounters);
+        let mut results: Vec<Option<Slot<R>>> = Vec::new();
         results.resize_with(self.threads, || None);
         std::thread::scope(|scope| {
+            if let Some(timeout) = opts.timeout {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    shared.gate.watchdog(timeout);
+                    // A cancelled deterministic run must also tear down
+                    // the sequencer, or parked threads never wake.
+                    if shared.gate.is_cancelled() {
+                        if let Some(seq) = &shared.seq {
+                            seq.abort();
+                        }
+                    }
+                });
+            }
             let mut handles = Vec::with_capacity(self.threads);
             for tid in 0..self.threads {
                 let body = &body;
                 let shared = Arc::clone(&shared);
                 let trace = self.trace;
+                let faults = self.faults;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = SimCtx::new(shared, tid, trace);
-                    let r = body(&mut ctx);
-                    let (report, misses, energy) = ctx.finish();
-                    (r, report, misses, energy)
+                    let mut ctx = SimCtx::new(Arc::clone(&shared), tid, trace, faults);
+                    // Contain panics: cancel the gate (releases barrier
+                    // waiters) and abort the sequencer (releases parked
+                    // turn-takers), then let survivors drain. The context
+                    // outlives the closure, so the thread's partial
+                    // report survives its panic.
+                    let r = match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+                        Ok(v) => Ok(v),
+                        Err(p) => {
+                            shared.gate.cancel(CancelCause::WorkerPanic);
+                            if let Some(seq) = &shared.seq {
+                                seq.abort();
+                            }
+                            Err(panic_payload(p))
+                        }
+                    };
+                    let (report, misses, energy, faults) = ctx.finish();
+                    (r, report, misses, energy, faults)
                 }));
             }
             for (tid, h) in handles.into_iter().enumerate() {
-                results[tid] = Some(h.join().expect("simulated thread panicked"));
+                // The worker caught its own panic; join only fails if the
+                // panic payload itself panicked while being dropped.
+                results[tid] = Some(h.join().expect("simulated thread vanished"));
             }
+            shared.gate.finish();
         });
         let wall = start.elapsed();
         let mut per_thread = Vec::with_capacity(self.threads);
         let mut threads = Vec::with_capacity(self.threads);
         let mut misses = MissStats::default();
         let mut energy = EnergyCounters::default();
-        for slot in results {
-            let (r, t, m, e) = slot.expect("every thread joined");
-            per_thread.push(r);
+        let mut faults = FaultCounters::default();
+        let mut first_panic: Option<(usize, String)> = None;
+        for (tid, slot) in results.into_iter().enumerate() {
+            let (r, t, m, e, fc) = slot.expect("every thread joined");
             threads.push(t);
             misses.merge(&m);
             energy.merge(&e);
+            faults.merge(&fc);
+            match r {
+                Ok(v) => per_thread.push(v),
+                Err(payload) if first_panic.is_none() => first_panic = Some((tid, payload)),
+                Err(_) => {}
+            }
         }
         let completion = threads.iter().map(|t| t.finish_time).max().unwrap_or(0);
         let report = RunReport {
@@ -157,8 +238,18 @@ impl Machine for SimMachine {
             threads,
             misses,
             energy,
+            faults,
         };
-        RunOutcome { per_thread, report }
+        if let Some((tid, payload)) = first_panic {
+            return Err(RunError::WorkerPanicked { tid, payload, report });
+        }
+        if shared.gate.cause() == Some(CancelCause::Timeout) {
+            return Err(RunError::TimedOut {
+                timeout: opts.timeout.unwrap_or_default(),
+                report,
+            });
+        }
+        Ok(RunOutcome { per_thread, report })
     }
 }
 
@@ -170,17 +261,20 @@ struct SimShared {
     dram: Dram,
     shards: Vec<Mutex<L2Slice>>,
     inboxes: Inboxes,
-    barrier: Barrier,
+    /// Run barrier + cancellation token + watchdog hook: releases its
+    /// waiters when a worker panics or the run times out.
+    gate: RunGate,
     /// Sense-rotating barrier clock slots (see `SimCtx::barrier`).
     barrier_slots: [AtomicU64; 4],
     /// Core index each thread is pinned to.
     core_map: Vec<usize>,
-    /// Deterministic turn-taking for traced runs (`None` ⇒ lax mode).
+    /// Deterministic turn-taking for traced/fault runs (`None` ⇒ lax
+    /// mode).
     seq: Option<Sequencer>,
 }
 
 impl SimShared {
-    fn new(config: &SimConfig, threads: usize, traced: bool) -> Self {
+    fn new(config: &SimConfig, threads: usize, sequenced: bool) -> Self {
         let stride = config.num_cores / threads;
         SimShared {
             config: config.clone(),
@@ -190,10 +284,10 @@ impl SimShared {
                 .map(|_| Mutex::new(L2Slice::new(config)))
                 .collect(),
             inboxes: Inboxes::new(config.num_cores),
-            barrier: Barrier::new(threads),
+            gate: RunGate::new(threads),
             barrier_slots: Default::default(),
             core_map: (0..threads).map(|t| t * stride).collect(),
-            seq: traced.then(|| Sequencer::new(threads)),
+            seq: sequenced.then(|| Sequencer::new(threads)),
         }
     }
 }
@@ -246,10 +340,22 @@ pub struct SimCtx {
     my_bookings: std::collections::HashMap<u64, (u64, u64)>,
     active_samples: Vec<(u64, u64)>,
     tracer: Option<ThreadTracer>,
+    /// Deterministic fault-injection plan (`None` ⇒ no faults; decisions
+    /// are pure functions, so each thread carries its own copy).
+    faults: Option<FaultPlan>,
+    fault_counters: FaultCounters,
+    /// Last core-stall decision window evaluated, so each window is
+    /// decided at most once per thread.
+    last_stall_window: Option<u64>,
 }
 
 impl SimCtx {
-    fn new(shared: Arc<SimShared>, tid: usize, trace: Option<TraceConfig>) -> Self {
+    fn new(
+        shared: Arc<SimShared>,
+        tid: usize,
+        trace: Option<TraceConfig>,
+        faults: Option<FaultPlan>,
+    ) -> Self {
         let core = shared.core_map[tid];
         let l1 = L1Cache::new(&shared.config);
         let mlp = shared.config.core.max_outstanding_misses();
@@ -274,6 +380,9 @@ impl SimCtx {
             my_bookings: std::collections::HashMap::new(),
             active_samples: Vec::new(),
             tracer: trace.map(|c| ThreadTracer::from_config(&c)),
+            faults,
+            fault_counters: FaultCounters::default(),
+            last_stall_window: None,
         }
     }
 
@@ -296,7 +405,7 @@ impl SimCtx {
         self.core
     }
 
-    fn finish(mut self) -> (ThreadReport, MissStats, EnergyCounters) {
+    fn finish(mut self) -> (ThreadReport, MissStats, EnergyCounters, FaultCounters) {
         self.drain_window();
         // Leave the deterministic rotation first: threads finishing at
         // different simulated times must not stall the still-running ones.
@@ -312,7 +421,7 @@ impl SimCtx {
             active_samples: self.active_samples,
             trace: self.tracer.map(ThreadTracer::finish),
         };
-        (report, self.misses, self.energy)
+        (report, self.misses, self.energy, self.fault_counters)
     }
 
     // ------------------------------------------------------------------
@@ -358,6 +467,9 @@ impl SimCtx {
     // The memory-access state machine.
 
     fn mem_op(&mut self, addr: Addr, write: bool, serialize: bool) {
+        // Stall faults land before the clock is published to the
+        // sequencer, so the stalled clock orders the turn-taking.
+        self.apply_core_stall();
         // Inboxes, home slices, the mesh, and DRAM are shared: traced
         // runs serialize here in deterministic `(clock, tid)` order.
         self.sync_turn();
@@ -474,6 +586,54 @@ impl SimCtx {
         self.energy.link_flit_hops += flit_hops;
     }
 
+    /// A critical-path mesh traversal with fault injection: when the
+    /// fault plan declares a transient link fault on this traversal, the
+    /// message is retransmitted — the retry departs when the corrupted
+    /// copy would have arrived, doubling latency and flit traffic.
+    fn route(&mut self, mesh: &Mesh, from: usize, to: usize, depart: u64, flits: u64) -> Traversal {
+        let t = mesh.traverse(from, to, depart, flits);
+        self.note_traffic(t.flit_hops);
+        if let Some(plan) = self.faults {
+            if plan.noc_fault(from, to, depart) {
+                let retry = mesh.traverse(from, to, t.arrival, flits);
+                self.note_traffic(retry.flit_hops);
+                self.fault_counters.noc_retransmits += 1;
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.instant("fault", "noc_retransmit", depart, 1);
+                }
+                return Traversal {
+                    arrival: retry.arrival,
+                    flit_hops: t.flit_hops + retry.flit_hops,
+                };
+            }
+        }
+        t
+    }
+
+    /// Core stall faults: at most once per `stall_window`-cycle window,
+    /// the plan may declare this core unresponsive — modeled as a lump
+    /// of lost cycles before the next memory operation issues.
+    fn apply_core_stall(&mut self) {
+        let Some(plan) = self.faults else { return };
+        if plan.stall_rate <= 0.0 {
+            return;
+        }
+        let window = self.clock / plan.stall_window;
+        if self.last_stall_window.is_some_and(|w| w >= window) {
+            return;
+        }
+        self.last_stall_window = Some(window);
+        if plan.core_stall(self.core, window) {
+            self.clock += plan.stall_cycles;
+            self.breakdown.compute += plan.stall_cycles;
+            self.fault_counters.core_stalls += 1;
+            self.fault_counters.core_stall_cycles += plan.stall_cycles;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("fault", "core_stall", self.clock, plan.stall_cycles);
+            }
+        }
+    }
+
     /// One full directory transaction at the line's home, returning its
     /// completion time and component split. Home-side directory state is
     /// updated synchronously; remote L1 state via inbox messages (lax).
@@ -495,8 +655,7 @@ impl SimCtx {
         let mut broadcast = false;
         let mut dram_queued: Option<u64> = None;
 
-        let req = shared.mesh.traverse(self.core, home, issue, ctrl);
-        self.note_traffic(req.flit_hops);
+        let req = self.route(&shared.mesh, self.core, home, issue, ctrl);
 
         let waiting;
         let mut offchip = 0;
@@ -567,14 +726,34 @@ impl SimCtx {
 
             if was_miss {
                 let (c, ccore) = shared.dram.controller_for(line);
-                let go = shared.mesh.traverse(home, ccore, t, ctrl);
-                self.note_traffic(go.flit_hops);
+                let go = self.route(&shared.mesh, home, ccore, t, ctrl);
                 let acc = shared.dram.access_timed(c, go.arrival);
                 dram_queued = Some(acc.queued);
-                let ready = acc.ready;
+                let mut ready = acc.ready;
                 self.energy.dram_accesses += 1;
-                let back = shared.mesh.traverse(ccore, home, ready, data);
-                self.note_traffic(back.flit_hops);
+                // ECC model: corrected errors are free; a detected
+                // (uncorrectable) error re-reads the line from the array.
+                if let Some(plan) = self.faults {
+                    match plan.dram_fault(c, go.arrival) {
+                        EccOutcome::Clean => {}
+                        EccOutcome::Corrected => {
+                            self.fault_counters.dram_ecc_corrected += 1;
+                            if let Some(tr) = self.tracer.as_mut() {
+                                tr.instant("fault", "dram_ecc_corrected", go.arrival, 1);
+                            }
+                        }
+                        EccOutcome::Detected => {
+                            let retry = shared.dram.access_timed(c, ready);
+                            ready = retry.ready;
+                            self.energy.dram_accesses += 1;
+                            self.fault_counters.dram_ecc_detected += 1;
+                            if let Some(tr) = self.tracer.as_mut() {
+                                tr.instant("fault", "dram_ecc_detected", go.arrival, 1);
+                            }
+                        }
+                    }
+                }
+                let back = self.route(&shared.mesh, ccore, home, ready, data);
                 offchip = back.arrival - t;
                 t = back.arrival;
                 self.misses.l2_misses += 1;
@@ -586,11 +765,9 @@ impl SimCtx {
                 // every other copy; requester becomes the owner.
                 if let Some(o) = entry.owner {
                     if o != me {
-                        let go = shared.mesh.traverse(home, o as usize, t, ctrl);
-                        self.note_traffic(go.flit_hops);
+                        let go = self.route(&shared.mesh, home, o as usize, t, ctrl);
                         let back =
-                            shared.mesh.traverse(o as usize, home, go.arrival, data);
-                        self.note_traffic(back.flit_hops);
+                            self.route(&shared.mesh, o as usize, home, go.arrival, data);
                         sharers_time += back.arrival - t;
                         t = back.arrival;
                         shared.inboxes.push(
@@ -613,12 +790,9 @@ impl SimCtx {
                             let mut done = t;
                             for tgt in targets {
                                 let go =
-                                    shared.mesh.traverse(home, tgt as usize, t, ctrl);
-                                self.note_traffic(go.flit_hops);
-                                let ack = shared
-                                    .mesh
-                                    .traverse(tgt as usize, home, go.arrival, ctrl);
-                                self.note_traffic(ack.flit_hops);
+                                    self.route(&shared.mesh, home, tgt as usize, t, ctrl);
+                                let ack = self
+                                    .route(&shared.mesh, tgt as usize, home, go.arrival, ctrl);
                                 done = done.max(ack.arrival);
                                 shared.inboxes.push(
                                     tgt as usize,
@@ -656,11 +830,9 @@ impl SimCtx {
                 // Read: downgrade a foreign owner, else grant E when sole.
                 if let Some(o) = entry.owner {
                     if o != me {
-                        let go = shared.mesh.traverse(home, o as usize, t, ctrl);
-                        self.note_traffic(go.flit_hops);
+                        let go = self.route(&shared.mesh, home, o as usize, t, ctrl);
                         let back =
-                            shared.mesh.traverse(o as usize, home, go.arrival, data);
-                        self.note_traffic(back.flit_hops);
+                            self.route(&shared.mesh, o as usize, home, go.arrival, data);
                         sharers_time += back.arrival - t;
                         t = back.arrival;
                         shared.inboxes.push(
@@ -695,10 +867,7 @@ impl SimCtx {
         // Upgrades and remote (word-granularity) accesses reply without
         // the full line.
         let reply_flits = if upgrade || !allocate { ctrl } else { data };
-        let reply = shared
-            .mesh
-            .traverse(home, self.core, reply_depart, reply_flits);
-        self.note_traffic(reply.flit_hops);
+        let reply = self.route(&shared.mesh, home, self.core, reply_depart, reply_flits);
 
         if let Some(tr) = self.tracer.as_mut() {
             tr.instant("noc", "noc_flits", issue, self.energy.router_flit_hops - flits_before);
@@ -791,15 +960,39 @@ impl ThreadCtx for SimCtx {
             // Deterministic mode: spinning would deadlock (the holder
             // cannot take a turn while we hold ours), so yield the turn
             // and park on the lock word until the holder's unlock wakes
-            // us; waiters then re-contend in `(clock, tid)` order.
+            // us; waiters then re-contend in `(clock, tid)` order. A
+            // cancelled run bails without the lock: its holder may have
+            // panicked, and cancelled results are discarded anyway.
             let mut contended = false;
             while !set.try_acquire_raw(idx) {
                 contended = true;
+                if self.shared.gate.is_cancelled() {
+                    break;
+                }
                 seq.block_on(self.tid, set.addr(idx).raw());
             }
             contended
         } else {
-            set.acquire_raw(idx)
+            // Lax mode: spin, but keep observing cancellation so a
+            // panicked holder cannot hang the waiters forever.
+            let mut contended = false;
+            let mut spins = 0u32;
+            loop {
+                if set.try_acquire_raw(idx) {
+                    break;
+                }
+                contended = true;
+                if self.shared.gate.is_cancelled() {
+                    break;
+                }
+                spins = spins.wrapping_add(1);
+                if spins % 64 == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            contended
         };
         let mut wait = 0;
         // Align to the previous holder's release only when the
@@ -869,7 +1062,13 @@ impl ThreadCtx for SimCtx {
         if let Some(seq) = &self.shared.seq {
             seq.barrier_wait(self.tid);
         }
-        self.shared.barrier.wait();
+        let synced = self.shared.gate.barrier_wait();
+        if !synced {
+            // Cancelled run: the rendezvous never completed, so the slot
+            // holds a meaningless partial max. Keep draining.
+            self.generation += 1;
+            return;
+        }
         let max_clock = self.shared.barrier_slots[g % 4].load(Ordering::Acquire);
         self.generation += 1;
         let overhead = self.shared.config.barrier_overhead;
@@ -915,6 +1114,11 @@ impl ThreadCtx for SimCtx {
 
     fn tracing(&self) -> bool {
         self.tracer.is_some()
+    }
+
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.shared.gate.is_cancelled()
     }
 }
 
@@ -1264,5 +1468,195 @@ mod tests {
         let m = machine(2);
         let outcome = m.run(|ctx| ctx.compute(10));
         assert!(outcome.report.threads.iter().all(|t| t.trace.is_none()));
+    }
+
+    /// A kernel where one thread panics while the rest sit in barriers:
+    /// the classic deadlock shape that panic containment must survive.
+    fn panicking_kernel(ctx: &mut SimCtx, counter: &SharedU64s) -> usize {
+        for round in 0..6 {
+            counter.fetch_add(ctx, 0, 1);
+            if round == 2 && ctx.thread_id() == 1 {
+                panic!("sim worker died mid-round");
+            }
+            ctx.barrier();
+        }
+        ctx.thread_id()
+    }
+
+    #[test]
+    fn worker_panic_contained_in_lax_mode() {
+        let m = machine(4);
+        let counter = SharedU64s::new(1);
+        let err = m
+            .try_run(|ctx| panicking_kernel(ctx, &counter))
+            .expect_err("a panicking worker must fail the run");
+        match &err {
+            crono_runtime::RunError::WorkerPanicked { tid, payload, report } => {
+                assert_eq!(*tid, 1);
+                assert!(payload.contains("sim worker died"), "{payload:?}");
+                // Every thread — including the dead one — reports.
+                assert_eq!(report.threads.len(), 4);
+                assert!(report.threads.iter().all(|t| t.instructions > 0));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The machine stays usable afterwards.
+        let outcome = m.run(|ctx| ctx.compute(10));
+        assert_eq!(outcome.per_thread.len(), 4);
+    }
+
+    #[test]
+    fn worker_panic_contained_under_deterministic_sequencer() {
+        let m = SimMachine::with_tracing(
+            SimConfig::tiny(16),
+            4,
+            crono_trace::TraceConfig::default(),
+        );
+        let counter = SharedU64s::new(1);
+        let err = m
+            .try_run(|ctx| panicking_kernel(ctx, &counter))
+            .expect_err("a panicking worker must fail the sequenced run");
+        match &err {
+            crono_runtime::RunError::WorkerPanicked { tid, report, .. } => {
+                assert_eq!(*tid, 1);
+                // Survivors' traces are intact despite the abort.
+                assert_eq!(report.threads.len(), 4);
+                assert!(report.threads[0].trace.is_some());
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_contained_while_holding_a_lock() {
+        let m = machine(3);
+        let locks = LockSet::new(1);
+        let err = m
+            .try_run(|ctx| {
+                ctx.lock(&locks, 0);
+                if ctx.thread_id() == 0 {
+                    panic!("died holding the lock");
+                }
+                ctx.compute(10);
+                ctx.unlock(&locks, 0);
+            })
+            .expect_err("panicked run");
+        assert!(matches!(
+            err,
+            crono_runtime::RunError::WorkerPanicked { tid: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn timeout_watchdog_cancels_hung_sim_kernel() {
+        let m = machine(2);
+        let opts = crono_runtime::RunOptions {
+            timeout: Some(std::time::Duration::from_millis(20)),
+        };
+        let err = m
+            .try_run_with(&opts, |ctx| {
+                while !ctx.cancelled() {
+                    ctx.compute(1);
+                }
+            })
+            .expect_err("hung kernel must time out");
+        assert!(matches!(err, crono_runtime::RunError::TimedOut { .. }));
+    }
+
+    /// A fault-free plan and an aggressive plan over the *same* shared
+    /// data (same symbolic addresses, so the runs are comparable): the
+    /// faulty run must report injected events and take at least as long.
+    #[test]
+    fn fault_injection_slows_the_run_and_counts_events() {
+        let arr = SharedU32s::new(64);
+        let run = |plan: FaultPlan| {
+            let m = SimMachine::with_faults(SimConfig::tiny(16), 4, plan);
+            m.run(|ctx| {
+                for round in 0..4 {
+                    for i in 0..64 {
+                        if i % ctx.num_threads() == ctx.thread_id() {
+                            arr.set(ctx, i, round as u32);
+                        }
+                    }
+                    ctx.barrier();
+                }
+            })
+            .report
+        };
+        let clean = run(FaultPlan::zero(33));
+        let faulty = run(FaultPlan::scaled(33, 0.1));
+        assert_eq!(clean.faults.total_events(), 0, "{:?}", clean.faults);
+        assert!(
+            faulty.faults.noc_retransmits > 0,
+            "rate 0.1 must hit some traversal: {:?}",
+            faulty.faults
+        );
+        assert!(
+            faulty.faults.dram_ecc_corrected + faulty.faults.dram_ecc_detected > 0,
+            "rate 0.1 must hit some DRAM access: {:?}",
+            faulty.faults
+        );
+        assert!(
+            faulty.completion > clean.completion,
+            "faults only add latency: faulty={} clean={}",
+            faulty.completion,
+            clean.completion
+        );
+    }
+
+    /// Fault decisions are pure site hashes, so injected runs are as
+    /// deterministic as traced ones — across processes (the symbolic
+    /// address allocator shifts lines within one process; see
+    /// `traced_run_is_deterministic_across_processes`).
+    #[test]
+    fn faulty_run_is_deterministic_across_processes() {
+        if std::env::var_os("CRONO_FAULT_DET_CHILD").is_some() {
+            let counter = SharedU64s::new(1);
+            let locks = LockSet::new(1);
+            let m =
+                SimMachine::with_faults(SimConfig::tiny(16), 4, FaultPlan::scaled(33, 0.02));
+            let outcome = m.run(|ctx| traced_kernel(ctx, &locks, &counter));
+            let r = &outcome.report;
+            println!("FP completion {}", r.completion);
+            println!(
+                "FP faults {} {} {} {} {}",
+                r.faults.noc_retransmits,
+                r.faults.dram_ecc_corrected,
+                r.faults.dram_ecc_detected,
+                r.faults.core_stalls,
+                r.faults.core_stall_cycles
+            );
+            println!(
+                "FP misses {} {} {}",
+                r.misses.cold_misses, r.misses.capacity_misses, r.misses.sharing_misses
+            );
+            println!(
+                "FP energy {} {}",
+                r.energy.router_flit_hops, r.energy.dram_accesses
+            );
+            return;
+        }
+        let exe = std::env::current_exe().expect("test binary path");
+        let child = || {
+            let out = std::process::Command::new(&exe)
+                .args([
+                    "--exact",
+                    "machine::tests::faulty_run_is_deterministic_across_processes",
+                    "--nocapture",
+                    "--test-threads=1",
+                ])
+                .env("CRONO_FAULT_DET_CHILD", "1")
+                .output()
+                .expect("spawn child test process");
+            assert!(out.status.success(), "child failed: {out:?}");
+            let stdout = String::from_utf8(out.stdout).expect("utf8");
+            let lines: Vec<&str> = stdout
+                .lines()
+                .filter(|l| l.starts_with("FP "))
+                .collect();
+            assert!(!lines.is_empty(), "child produced no fingerprint");
+            lines.join("\n")
+        };
+        assert_eq!(child(), child(), "fault fingerprints byte-identical");
     }
 }

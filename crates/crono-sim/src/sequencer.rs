@@ -53,6 +53,11 @@ struct SeqState {
     status: Vec<Status>,
     /// The thread currently holding the run token, if any.
     current: Option<usize>,
+    /// Set when the run is cancelled (a worker panicked or timed out):
+    /// every scheduling point returns immediately so the surviving
+    /// threads can drain without waiting for a token that will never
+    /// circulate again.
+    aborted: bool,
 }
 
 impl SeqState {
@@ -87,6 +92,7 @@ impl Sequencer {
                 clocks: vec![0; threads],
                 status: vec![Status::Runnable; threads],
                 current: None,
+                aborted: false,
             }),
             cv: Condvar::new(),
         }
@@ -104,6 +110,9 @@ impl Sequencer {
     /// published.
     fn acquire(&self, mut s: MutexGuard<'_, SeqState>, tid: usize) {
         loop {
+            if s.aborted {
+                return;
+            }
             if s.current.is_none() && s.is_next(tid) {
                 s.current = Some(tid);
                 return;
@@ -118,6 +127,9 @@ impl Sequencer {
     /// entry.
     pub(crate) fn turn(&self, tid: usize, clock: u64) {
         let mut s = self.lock();
+        if s.aborted {
+            return;
+        }
         s.clocks[tid] = clock;
         s.release_if_held(tid);
         self.cv.notify_all();
@@ -146,7 +158,7 @@ impl Sequencer {
             }
         }
         self.cv.notify_all();
-        while s.status[tid] != Status::Runnable {
+        while s.status[tid] != Status::Runnable && !s.aborted {
             s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -156,10 +168,16 @@ impl Sequencer {
     /// `try_acquire` on the lock word at symbolic address `key` fails.
     pub(crate) fn block_on(&self, tid: usize, key: u64) {
         let mut s = self.lock();
+        if s.aborted {
+            return;
+        }
         s.status[tid] = Status::BlockedOn(key);
         s.release_if_held(tid);
         self.cv.notify_all();
         loop {
+            if s.aborted {
+                return;
+            }
             if s.status[tid] == Status::Runnable && s.current.is_none() && s.is_next(tid) {
                 s.current = Some(tid);
                 return;
@@ -187,6 +205,16 @@ impl Sequencer {
         let mut s = self.lock();
         s.status[tid] = Status::Done;
         s.release_if_held(tid);
+        self.cv.notify_all();
+    }
+
+    /// Cancels the schedule: drops the run token and releases every
+    /// parked thread. All further scheduling points return immediately,
+    /// so surviving threads drain without ever waiting on a dead peer.
+    pub(crate) fn abort(&self) {
+        let mut s = self.lock();
+        s.aborted = true;
+        s.current = None;
         self.cv.notify_all();
     }
 }

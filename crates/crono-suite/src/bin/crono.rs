@@ -3,8 +3,10 @@
 use crono_algos::{Ablation, Benchmark};
 use crono_energy::EnergyModel;
 use crono_sim::SimConfig;
+use crono_suite::checkpoint::Checkpoint;
+use crono_suite::experiments::faults::FaultsConfig;
 use crono_suite::experiments::{
-    ablation, fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables,
+    ablation, faults, fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables,
 };
 use crono_suite::runner::Sweep;
 use crono_suite::trace::{run_traced_ablated, TraceBackend};
@@ -17,11 +19,13 @@ const USAGE: &str = "\
 crono — regenerate the CRONO (IISWC 2015) tables and figures
 
 USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
-             [--out DIR] [--trace DIR] [--quiet]
+             [--out DIR] [--trace DIR] [--resume] [--quiet]
        crono trace --bench <NAME> [--threads N] [--scale test|small|paper]
              [--backend sim|native] [--ablation NAME] [--out FILE]
              [--capacity N] [--quiet]
        crono trace-diff <A.json> <B.json> [--tolerance F] [--quiet]
+       crono faults [--quick] [--scale test|small|paper] [--seed N]
+             [--threads N] [--out DIR] [--resume] [--quiet]
 
 COMMANDS:
   table1   Benchmarks and parallelizations
@@ -45,12 +49,18 @@ COMMANDS:
   trace-diff  Compare two traces' counter summaries; exits nonzero if
            the second regressed (count/arg_sum grew beyond --tolerance,
            a relative fraction, default 0)
+  faults   Deterministic fault-injection sweep: completion-time
+           degradation + injected-event counters per fault rate
+           (--quick: CI smoke sweep, BFS only at test scale)
 
 `--trace DIR` re-runs each swept benchmark at its best thread count with
 tracing enabled and writes one trace JSON per benchmark into DIR
 (sweep-based commands only: fig1-fig4, fig6, compare, all).
 `--ablation NAME` traces an optimized kernel variant instead of the
 paper-faithful default (sim or native backend).
+`--resume` (ablation and faults, needs --out) reloads the sweep's
+checkpoint from DIR and skips the points that already completed; the
+checkpoint is removed once the sweep finishes.
 ";
 
 struct Options {
@@ -58,6 +68,7 @@ struct Options {
     scale: Scale,
     out: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
+    resume: bool,
     progress: bool,
 }
 
@@ -67,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = Scale::small();
     let mut out = None;
     let mut trace_dir = None;
+    let mut resume = false;
     let mut progress = true;
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -80,17 +92,137 @@ fn parse_args() -> Result<Options, String> {
             "--trace" => {
                 trace_dir = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
             }
+            "--resume" => resume = true,
             "--quiet" => progress = false,
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
+    }
+    if resume && command != "ablation" {
+        return Err("--resume only applies to `crono ablation` and `crono faults`".to_string());
+    }
+    if resume && out.is_none() {
+        return Err("--resume needs --out DIR (the checkpoint lives in the output directory)"
+            .to_string());
     }
     Ok(Options {
         command,
         scale,
         out,
         trace_dir,
+        resume,
         progress,
     })
+}
+
+/// Options of the `crono faults` subcommand.
+struct FaultsOptions {
+    scale: Scale,
+    seed: u64,
+    threads: Option<usize>,
+    quick: bool,
+    out: Option<PathBuf>,
+    resume: bool,
+    progress: bool,
+}
+
+fn parse_faults_args(mut args: impl Iterator<Item = String>) -> Result<FaultsOptions, String> {
+    let mut scale = Scale::small();
+    let mut seed = 42u64;
+    let mut threads = None;
+    let mut quick = false;
+    let mut out = None;
+    let mut resume = false;
+    let mut progress = true;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let name = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::by_name(&name)
+                    .ok_or_else(|| format!("unknown scale {name:?} (test|small|paper)"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("invalid seed {v:?}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&t: &usize| t > 0)
+                        .ok_or_else(|| format!("invalid thread count {v:?}"))?,
+                );
+            }
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--resume" => resume = true,
+            "--quiet" => progress = false,
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if resume && out.is_none() {
+        return Err("--resume needs --out DIR (the checkpoint lives in the output directory)"
+            .to_string());
+    }
+    Ok(FaultsOptions {
+        scale,
+        seed,
+        threads,
+        quick,
+        out,
+        resume,
+        progress,
+    })
+}
+
+fn faults_command(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_faults_args(args)?;
+    // --quick is the CI smoke configuration: tiny machine, test-scale
+    // inputs, BFS only (see experiments::faults::QUICK_RATES).
+    let (scale, config) = if opts.quick {
+        (Scale::test(), SimConfig::tiny(16))
+    } else {
+        (opts.scale, SimConfig::default())
+    };
+    let fc = FaultsConfig {
+        seed: opts.seed,
+        threads: opts.threads.unwrap_or(if opts.quick { 8 } else { 16 }),
+        quick: opts.quick,
+    };
+    let mut ckpt = None;
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create output directory {}: {e}", dir.display()))?;
+        let path = dir.join("faults.resume.tsv");
+        let mut ck = Checkpoint::open(&path)
+            .map_err(|e| format!("open checkpoint {}: {e}", path.display()))?;
+        if !opts.resume {
+            // A fresh (non-resumed) sweep must not trust stale points,
+            // but still records its own so a crash can be resumed.
+            ck.clear()
+                .map_err(|e| format!("reset checkpoint {}: {e}", path.display()))?;
+        } else if opts.progress && !ck.is_empty() {
+            eprintln!("[faults] resuming: {} point(s) already done", ck.len());
+        }
+        ckpt = Some(ck);
+    }
+    let table = faults::generate(&scale, &config, &fc, opts.progress, ckpt.as_mut());
+    println!("{}", table.render());
+    if let Some(dir) = &opts.out {
+        let path = dir.join(format!("{}.tsv", table.file_stem()));
+        std::fs::write(&path, table.to_tsv())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("[out] wrote {}", path.display());
+    }
+    if let Some(mut ck) = ckpt {
+        if let Err(e) = ck.clear() {
+            eprintln!(
+                "warning: could not remove finished checkpoint {}: {e}",
+                ck.path().display()
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Options of the `crono trace` subcommand.
@@ -282,16 +414,19 @@ fn trace_diff_command(mut args: impl Iterator<Item = String>) -> Result<bool, St
     }
 }
 
-fn emit(tables: &[Table], out: &Option<PathBuf>) {
+fn emit(tables: &[Table], out: &Option<PathBuf>) -> Result<(), String> {
     for t in tables {
         println!("{}", t.render());
         if let Some(dir) = out {
-            std::fs::create_dir_all(dir).expect("create output directory");
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("create output directory {}: {e}", dir.display()))?;
             let path = dir.join(format!("{}.tsv", t.file_stem()));
-            std::fs::write(&path, t.to_tsv()).expect("write tsv");
+            std::fs::write(&path, t.to_tsv())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
             eprintln!("[out] wrote {}", path.display());
         }
     }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -314,6 +449,16 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("{e}");
                 ExitCode::from(2)
+            }
+        };
+    }
+    if raw.peek().map(String::as_str) == Some("faults") {
+        raw.next();
+        return match faults_command(raw) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
             }
         };
     }
@@ -355,7 +500,46 @@ fn main() -> ExitCode {
         "fig7" => tables.push(fig78::fig7(ooo_sweep.as_ref().expect("ooo sweep ran"))),
         "fig8" => tables.push(fig78::fig8(ooo_sweep.as_ref().expect("ooo sweep ran"))),
         "fig9" => tables.push(fig9::generate(&opts.scale, 3, opts.progress)),
-        "ablation" => tables.push(ablation::generate(&opts.scale, &config, opts.progress)),
+        "ablation" => {
+            if opts.resume {
+                // parse_args guarantees --resume comes with --out.
+                let dir = opts.out.as_ref().expect("--resume requires --out");
+                let path = dir.join("ablation.resume.tsv");
+                let table = std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("create output directory {}: {e}", dir.display()))
+                    .and_then(|()| {
+                        Checkpoint::open(&path)
+                            .map_err(|e| format!("open checkpoint {}: {e}", path.display()))
+                    })
+                    .map(|mut ck| {
+                        if opts.progress && !ck.is_empty() {
+                            eprintln!("[ablation] resuming: {} cell(s) already done", ck.len());
+                        }
+                        let t = ablation::generate_resumable(
+                            &opts.scale,
+                            &config,
+                            opts.progress,
+                            Some(&mut ck),
+                        );
+                        if let Err(e) = ck.clear() {
+                            eprintln!(
+                                "warning: could not remove finished checkpoint {}: {e}",
+                                ck.path().display()
+                            );
+                        }
+                        t
+                    });
+                match table {
+                    Ok(t) => tables.push(t),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                tables.push(ablation::generate(&opts.scale, &config, opts.progress));
+            }
+        }
         "compare" => {
             tables.extend(crono_suite::paper::compare(sweep.as_ref().expect("sweep ran")))
         }
@@ -372,12 +556,18 @@ fn main() -> ExitCode {
             // Emit incrementally so partial results survive interruption.
             let mut batch = Vec::new();
             push_cmd(name, &mut batch);
-            emit(&batch, &opts.out);
+            if let Err(e) = emit(&batch, &opts.out) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
             tables.extend(batch);
         }
     } else {
         push_cmd(&opts.command, &mut tables);
-        emit(&tables, &opts.out);
+        if let Err(e) = emit(&tables, &opts.out) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     if let Some(dir) = &opts.trace_dir {
         match &sweep {

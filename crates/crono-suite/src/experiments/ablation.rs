@@ -8,6 +8,7 @@
 //! characterizes everything else (the figures themselves always use the
 //! defaults).
 
+use crate::checkpoint::Checkpoint;
 use crate::report::{f2, Table};
 use crate::runner::{run_parallel, run_parallel_ablated};
 use crate::scale::Scale;
@@ -27,6 +28,18 @@ pub const CORE_SWEEP: [usize; 5] = [1, 4, 16, 64, 256];
 /// speedup row (`default / optimized`, so > 1 means the optimization
 /// wins on simulated time).
 pub fn generate(scale: &Scale, config: &SimConfig, progress: bool) -> Table {
+    generate_resumable(scale, config, progress, None)
+}
+
+/// As [`generate`], recording each finished `(ablation, benchmark,
+/// threads)` cell in `ckpt` so an interrupted sweep can resume
+/// (`crono ablation --resume`) without re-running completed cells.
+pub fn generate_resumable(
+    scale: &Scale,
+    config: &SimConfig,
+    progress: bool,
+    mut ckpt: Option<&mut Checkpoint>,
+) -> Table {
     let threads: Vec<usize> = CORE_SWEEP
         .iter()
         .copied()
@@ -60,6 +73,26 @@ pub fn generate(scale: &Scale, config: &SimConfig, progress: bool) -> Table {
         let mut default_row = Vec::new();
         let mut optimized_row = Vec::new();
         for &t in &threads {
+            let key = format!(
+                "ablation|{}|{bench_label}|v{}|c{}|t{t}",
+                ablation.name(),
+                scale.sparse_vertices,
+                config.num_cores
+            );
+            if let Some(cell) = ckpt.as_deref().and_then(|c| c.get(&key)) {
+                if let Some((b, o)) = cell.split_once(' ') {
+                    if let (Ok(b), Ok(o)) = (b.parse(), o.parse()) {
+                        if progress {
+                            eprintln!(
+                                "[ablation] {ablation}/{bench_label}: {t} threads (resumed)"
+                            );
+                        }
+                        default_row.push(b);
+                        optimized_row.push(o);
+                        continue;
+                    }
+                }
+            }
             if progress {
                 eprintln!("[ablation] {ablation}/{bench_label}: {t} threads");
             }
@@ -81,6 +114,14 @@ pub fn generate(scale: &Scale, config: &SimConfig, progress: bool) -> Table {
                     })
                     .collect(),
             );
+            if let Some(c) = ckpt.as_deref_mut() {
+                if let Err(e) = c.record(&key, &format!("{base} {opt}")) {
+                    eprintln!(
+                        "warning: could not checkpoint {key} to {}: {e}",
+                        c.path().display()
+                    );
+                }
+            }
             default_row.push(base);
             optimized_row.push(opt);
         }

@@ -205,6 +205,133 @@ fn trace_flag_rejected_without_a_sweep_command() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("sweep-based"));
 }
 
+/// Any CLI failure must be a one-line diagnostic + nonzero exit — never
+/// a panic backtrace.
+fn assert_clean_failure(out: &std::process::Output) {
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "CLI failure leaked a panic:\n{stderr}"
+    );
+    assert!(!stderr.trim().is_empty(), "failure with no diagnostic");
+}
+
+#[test]
+fn faults_quick_is_deterministic_and_counts_events() {
+    let dir = std::env::temp_dir().join(format!("crono-faults-cli-{}", std::process::id()));
+    let run = |sub: &str| {
+        let out_dir = dir.join(sub);
+        let out = crono()
+            .args(["faults", "--quick", "--quiet", "--out"])
+            .arg(&out_dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(out_dir.join("faults.tsv")).expect("tsv written")
+    };
+    let a = run("a");
+    let b = run("b");
+    assert_eq!(a, b, "seeded fault sweeps must be byte-identical");
+    let mut lines = a.lines();
+    let header = lines.next().expect("header row");
+    assert!(header.contains("NocRetx") && header.contains("Slowdown"), "{header}");
+    // Row order is baseline (rate 0, no events) then rate 0.05, which
+    // must have injected visible NoC retransmits.
+    let base: Vec<&str> = lines.next().expect("baseline row").split('\t').collect();
+    let faulty: Vec<&str> = lines.next().expect("faulty row").split('\t').collect();
+    assert_eq!(base[1], "0");
+    assert_eq!(base[4], "0", "fault-free baseline injected events: {base:?}");
+    let retx: u64 = faulty[4].parse().expect("NocRetx column");
+    assert!(retx > 0, "rate 0.05 injected nothing: {faulty:?}");
+    // The checkpoint is removed once the sweep completes.
+    assert!(!dir.join("a").join("faults.resume.tsv").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faults_resume_reuses_checkpointed_points() {
+    let dir = std::env::temp_dir().join(format!("crono-faults-resume-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // Plant a checkpoint for the quick sweep's rate-0.05 point (key
+    // format pinned by experiments::faults). --resume must trust it,
+    // proving the simulation for that point was skipped.
+    std::fs::write(
+        dir.join("faults.resume.tsv"),
+        "BFS|v512|c16|s42|t8|r0.05\t999999 7 1 2 3 4\n",
+    )
+    .expect("plant checkpoint");
+    let out = crono()
+        .args(["faults", "--quick", "--resume", "--quiet", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tsv = std::fs::read_to_string(dir.join("faults.tsv")).expect("tsv written");
+    let faulty: Vec<&str> = tsv.lines().nth(2).expect("rate 0.05 row").split('\t').collect();
+    assert_eq!(faulty[2], "999999", "planted completion not reused: {tsv}");
+    assert_eq!(faulty[4], "7", "planted counters not reused: {tsv}");
+    assert!(!dir.join("faults.resume.tsv").exists(), "checkpoint kept after success");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faults_resume_requires_out() {
+    let out = crono()
+        .args(["faults", "--quick", "--resume"])
+        .output()
+        .expect("binary runs");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn faults_rejects_bad_arguments_cleanly() {
+    for bad in [
+        vec!["faults", "--seed", "notanumber"],
+        vec!["faults", "--threads", "0"],
+        vec!["faults", "--scale", "enormous"],
+        vec!["faults", "--frobnicate"],
+    ] {
+        let out = crono().args(&bad).output().expect("binary runs");
+        assert_clean_failure(&out);
+    }
+}
+
+#[test]
+fn unwritable_out_directory_fails_cleanly() {
+    // /proc/1/nope cannot be created; both the generic table path and
+    // the faults path must report it as a one-line error.
+    let out = crono()
+        .args(["table1", "--quiet", "--out", "/proc/1/nope"])
+        .output()
+        .expect("binary runs");
+    assert_clean_failure(&out);
+    let out = crono()
+        .args(["faults", "--quick", "--quiet", "--out", "/proc/1/nope"])
+        .output()
+        .expect("binary runs");
+    assert_clean_failure(&out);
+}
+
+#[test]
+fn ablation_resume_requires_out() {
+    let out = crono()
+        .args(["ablation", "--resume", "--scale", "test"])
+        .output()
+        .expect("binary runs");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
 #[test]
 fn fig3_runs_at_test_scale() {
     let out = crono()

@@ -21,7 +21,7 @@
 //! ```
 
 use crono_algos::Benchmark;
-use crono_sim::{SimConfig, SimMachine};
+use crono_sim::{FaultPlan, SimConfig, SimMachine};
 use crono_suite::runner::run_parallel;
 use crono_suite::trace::{assemble, TraceBackend};
 use crono_suite::{Scale, Workload};
@@ -38,14 +38,21 @@ const BENCHES: [Benchmark; 2] = [Benchmark::Bfs, Benchmark::PageRank];
 /// Runs bfs + pagerank at 1/4/16 traced threads on the fixed seeded
 /// `test`-scale graph and renders every simulated counter as text.
 /// Deterministic only in a fresh process (bump-allocated addresses).
-fn fingerprint() -> String {
+///
+/// With `faults`, the same runs execute with that [`FaultPlan`]
+/// attached — an all-zero-rate plan must leave every counter
+/// bit-identical (the zero-fault path is required to be timing-free).
+fn fingerprint(faults: Option<FaultPlan>) -> String {
     let scale = Scale::test();
     let w = Workload::synthetic(&scale);
     let mut out = String::new();
     for bench in BENCHES {
         for threads in THREAD_COUNTS {
-            let machine =
+            let mut machine =
                 SimMachine::with_tracing(SimConfig::tiny(16), threads, TraceConfig::default());
+            if let Some(plan) = faults {
+                machine = machine.fault_plan(plan);
+            }
             let report = run_parallel(bench, &machine, &w);
             let (c, m, e) = (report.completion, report.misses, report.energy);
             let _ = writeln!(out, "run {} threads={threads}", bench.label());
@@ -81,21 +88,13 @@ fn fingerprint() -> String {
     out
 }
 
-#[test]
-fn golden_counters_are_invariant() {
-    if std::env::var_os("CRONO_GOLDEN_CHILD").is_some() {
-        print!("{}", fingerprint());
-        return;
-    }
+/// Re-runs this test binary filtered to `test_name` with `child_env`
+/// set, and returns the child's fingerprint lines.
+fn child_fingerprint(test_name: &str, child_env: &str) -> String {
     let exe = std::env::current_exe().expect("test binary path");
     let out = std::process::Command::new(&exe)
-        .args([
-            "--exact",
-            "golden_counters_are_invariant",
-            "--nocapture",
-            "--test-threads=1",
-        ])
-        .env("CRONO_GOLDEN_CHILD", "1")
+        .args(["--exact", test_name, "--nocapture", "--test-threads=1"])
+        .env(child_env, "1")
         .output()
         .expect("spawn child test process");
     assert!(out.status.success(), "child failed: {out:?}");
@@ -109,6 +108,16 @@ fn golden_counters_are_invariant() {
         got.contains("run BFS threads=1") && got.contains("run PageRank threads=16"),
         "child produced no fingerprint:\n{stdout}"
     );
+    got
+}
+
+#[test]
+fn golden_counters_are_invariant() {
+    if std::env::var_os("CRONO_GOLDEN_CHILD").is_some() {
+        print!("{}", fingerprint(None));
+        return;
+    }
+    let got = child_fingerprint("golden_counters_are_invariant", "CRONO_GOLDEN_CHILD");
     if std::env::var_os("CRONO_GOLDEN_UPDATE").is_some() {
         std::fs::write(GOLDEN_PATH, &got).expect("write golden file");
         eprintln!("golden file updated at {GOLDEN_PATH}");
@@ -119,5 +128,26 @@ fn golden_counters_are_invariant() {
         "simulated counters drifted from the golden fingerprint; if the \
          timing model changed intentionally, regenerate with \
          CRONO_GOLDEN_UPDATE=1"
+    );
+}
+
+/// The zero-fault gate: attaching a [`FaultPlan`] whose rates are all
+/// zero must be invisible — byte-for-byte the same golden fingerprint,
+/// proving the fault hooks cost nothing (in simulated time) until a
+/// rate is actually set.
+#[test]
+fn zero_fault_plan_reproduces_golden() {
+    if std::env::var_os("CRONO_GOLDEN_ZEROFAULT_CHILD").is_some() {
+        print!("{}", fingerprint(Some(FaultPlan::zero(42))));
+        return;
+    }
+    let got = child_fingerprint(
+        "zero_fault_plan_reproduces_golden",
+        "CRONO_GOLDEN_ZEROFAULT_CHILD",
+    );
+    assert_eq!(
+        got, GOLDEN,
+        "a zero-rate FaultPlan perturbed the simulated counters; the \
+         zero-fault path must be timing-invariant"
     );
 }

@@ -81,6 +81,38 @@ echo "==> trace-diff smoke test"
 ./target/release/crono trace-diff "$trace_out/a.json" "$trace_out/b.json" --quiet
 echo "trace-diff OK: identical configs produce a zero counter delta"
 
+echo "==> fault-injection smoke test"
+# The quick sweep must produce a TSV whose non-zero-rate row actually
+# injected NoC retransmits (column 5), and the checkpoint must be gone
+# after a successful run.
+./target/release/crono faults --quick --quiet --out "$trace_out/faults-a"
+faults_tsv="$trace_out/faults-a/faults.tsv"
+head -1 "$faults_tsv" | grep -q 'NocRetx'
+awk -F'\t' 'NR > 1 && $2 != "0" { if ($5 + 0 == 0) exit 1; found = 1 }
+            END { exit !found }' "$faults_tsv"
+if [ -e "$trace_out/faults-a/faults.resume.tsv" ]; then
+  echo "ERROR: finished faults sweep left its checkpoint behind" >&2
+  exit 1
+fi
+echo "faults OK: injected events counted, checkpoint cleaned up"
+
+echo "==> fault-sweep determinism"
+# A seeded sweep is byte-identical across fresh invocations.
+./target/release/crono faults --quick --quiet --out "$trace_out/faults-b"
+cmp "$faults_tsv" "$trace_out/faults-b/faults.tsv"
+echo "faults determinism OK: two sweeps byte-identical"
+
+echo "==> panic-containment tests"
+# A panicking kernel must yield a typed error (not a deadlock or abort)
+# on both backends; re-run those tests by name.
+cargo test -q --offline -p crono-runtime worker_panic
+cargo test -q --offline -p crono-sim worker_panic
+
+echo "==> zero-fault timing-invariance gate"
+# Attaching an all-zero-rate FaultPlan must reproduce the golden
+# counter fingerprint exactly.
+cargo test -q --offline -p crono-suite --test counter_invariance zero_fault
+
 echo "==> tracked-file audit: no build artifacts in git"
 if git ls-files | grep -q '^target/'; then
   echo "ERROR: files under target/ are tracked by git:" >&2
