@@ -177,6 +177,52 @@ fn pagerank_update(c: &mut Criterion) {
     g.finish();
 }
 
+fn task_steal(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_task_steal");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for &bench in Ablation::TaskSteal.benchmarks() {
+        for (kernel, ablation) in [("default", None), ("steal", Some(Ablation::TaskSteal))] {
+            g.bench_function(format!("{}/{kernel}", bench.label()), |b| {
+                b.iter(|| {
+                    run_parallel_ablated(
+                        bench,
+                        &SimMachine::new(SimConfig::default(), 16),
+                        &w,
+                        ablation,
+                    )
+                    .completion
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn lockfree_bound(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_lockfree_bound");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (kernel, ablation) in [("locked", None), ("lockfree", Some(Ablation::LockfreeBound))] {
+        g.bench_function(kernel, |b| {
+            b.iter(|| {
+                run_parallel_ablated(
+                    Benchmark::Tsp,
+                    &SimMachine::new(SimConfig::default(), 16),
+                    &w,
+                    ablation,
+                )
+                .completion
+            })
+        });
+    }
+    g.finish();
+}
+
 fn locality_aware(c: &mut Criterion) {
     let w = workload();
     let mut g = c.benchmark_group("ablation_locality_aware");
@@ -233,6 +279,8 @@ criterion_group!(
     sssp_strategy,
     frontier_repr,
     pagerank_update,
+    task_steal,
+    lockfree_bound,
     locality_aware,
     routing
 );

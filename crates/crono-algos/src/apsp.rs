@@ -15,7 +15,13 @@
 
 use crate::{costs, AlgoOutcome};
 use crono_graph::{AdjacencyMatrix, VertexId};
-use crono_runtime::{Machine, ReadArray, SharedU32s, SharedU64s, ThreadCtx, TrackedVec};
+use crono_runtime::{
+    Machine, ReadArray, SharedU32s, SharedU64s, TaskPool, ThreadCtx, TrackedVec,
+};
+
+/// Seed for the work-stealing variant's victim selection (fixed so two
+/// runs of the same input are schedule-identical).
+pub(crate) const STEAL_SEED: u64 = 0xC0_90_05;
 
 /// Distance assigned to unreachable pairs (same sentinel as
 /// [`AdjacencyMatrix::INFINITY`]).
@@ -129,6 +135,52 @@ pub fn parallel<M: Machine>(machine: &M, matrix: &AdjacencyMatrix) -> AlgoOutcom
     }
 }
 
+/// Parallel APSP with sources as stealable tasks
+/// ([`Ablation::TaskSteal`](crate::Ablation::TaskSteal)).
+///
+/// The paper-faithful [`parallel`] makes every thread hammer one shared
+/// capture counter — a single cache line whose directory entry serializes
+/// all 256 cores. Here the sources are dealt round-robin into per-thread
+/// Chase–Lev deques before the timed region; threads drain their own
+/// deque and steal (seeded victim order) only when empty, so the common
+/// case touches a thread-private line and contention is spread across
+/// one line per owner. Results are schedule-independent (each source's
+/// row is written exactly once), so the output is identical to
+/// [`parallel`].
+///
+/// # Panics
+///
+/// Same conditions as [`parallel`].
+pub fn parallel_steal<M: Machine>(
+    machine: &M,
+    matrix: &AdjacencyMatrix,
+) -> AlgoOutcome<ApspOutput> {
+    let n = matrix.num_vertices();
+    assert!(n <= 16_384, "APSP result matrix capped at 16K vertices");
+    let threads = machine.num_threads();
+    let shared = ReadArray::new(matrix.as_slice());
+    let result = SharedU32s::filled(n * n, UNREACHABLE);
+    let pool = TaskPool::new(threads, n / threads + 1, STEAL_SEED);
+    for s in 0..n {
+        let pushed = pool.push_plain(s % threads, s as u64);
+        debug_assert!(pushed, "deques are sized for all sources");
+    }
+    let outcome = machine.run(|ctx| {
+        while !ctx.cancelled() {
+            let Some(s) = pool.take_fixed(ctx) else { break };
+            ctx.record_active(1);
+            dijkstra_row(ctx, &shared, n, s as usize, &result);
+        }
+    });
+    AlgoOutcome {
+        output: ApspOutput {
+            dist: result.to_vec(),
+            n,
+        },
+        report: outcome.report,
+    }
+}
+
 /// Sequential reference (one thread captures every vertex).
 ///
 /// # Panics
@@ -202,6 +254,16 @@ mod tests {
             for t in 0..48 {
                 assert_eq!(out.output.distance(s, t), out.output.distance(t, s));
             }
+        }
+    }
+
+    #[test]
+    fn steal_variant_matches_default_at_every_thread_count() {
+        let m = small_matrix(11);
+        let expect = floyd_warshall(&m);
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_steal(&NativeMachine::new(threads), &m);
+            assert_eq!(out.output.dist, expect, "threads={threads}");
         }
     }
 

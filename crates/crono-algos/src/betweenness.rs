@@ -14,11 +14,11 @@
 //! fractional definition differs; the test-suite checks this one against
 //! a brute-force oracle.)
 
-use crate::apsp::{capture_sources, UNREACHABLE};
+use crate::apsp::{capture_sources, dijkstra_row, STEAL_SEED, UNREACHABLE};
 use crate::graph_view::chunk;
 use crate::{costs, AlgoOutcome};
 use crono_graph::AdjacencyMatrix;
-use crono_runtime::{Machine, ReadArray, SharedU32s, SharedU64s, ThreadCtx};
+use crono_runtime::{Machine, ReadArray, SharedU32s, SharedU64s, TaskPool, ThreadCtx};
 
 /// Result of a betweenness-centrality run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +85,89 @@ pub fn parallel<M: Machine>(
             }
             if count > 0 {
                 // "updating the centralities via atomic locks"
+                centrality.fetch_add(ctx, v, count);
+            }
+        }
+    });
+    AlgoOutcome {
+        output: BetweennessOutput {
+            centrality: centrality.to_vec(),
+            dist: dist.to_vec(),
+        },
+        report: outcome.report,
+    }
+}
+
+/// Parallel betweenness centrality with both phases as stealable tasks
+/// ([`Ablation::TaskSteal`](crate::Ablation::TaskSteal)).
+///
+/// Phase 1 replaces the shared capture counter with per-thread deques of
+/// source vertices (as in [`crate::apsp::parallel_steal`]); phase 2
+/// replaces the static `chunk` split with stealable per-vertex
+/// centrality tasks, so a thread whose chunk would have held the
+/// expensive high-degree vertices no longer straggles while the rest
+/// idle at the barrier. Both phases write disjoint locations per task
+/// (row `s` of `dist`; `centrality[v]` is added exactly once), so the
+/// output is schedule-independent and identical to [`parallel`].
+///
+/// # Panics
+///
+/// Panics if the matrix has more than 16,384 vertices.
+pub fn parallel_steal<M: Machine>(
+    machine: &M,
+    matrix: &AdjacencyMatrix,
+) -> AlgoOutcome<BetweennessOutput> {
+    let n = matrix.num_vertices();
+    assert!(n <= 16_384, "BETW_CENT matrix capped at 16K vertices");
+    let threads = machine.num_threads();
+    let shared = ReadArray::new(matrix.as_slice());
+    let dist = SharedU32s::filled(n * n, UNREACHABLE);
+    let centrality = SharedU64s::new(n);
+    let sources = TaskPool::new(threads, n / threads + 1, STEAL_SEED);
+    let vertices = TaskPool::new(threads, n / threads + 1, STEAL_SEED ^ 1);
+    for v in 0..n {
+        let pushed = sources.push_plain(v % threads, v as u64)
+            && vertices.push_plain(v % threads, v as u64);
+        debug_assert!(pushed, "deques are sized for all vertices");
+    }
+
+    let outcome = machine.run(|ctx| {
+        // Phase 1: APSP rows as stealable tasks.
+        while !ctx.cancelled() {
+            let Some(s) = sources.take_fixed(ctx) else { break };
+            ctx.record_active(1);
+            dijkstra_row(ctx, &shared, n, s as usize, &dist);
+        }
+        ctx.barrier();
+        // Phase 2: per-vertex centrality tasks (dynamic, not chunked).
+        while !ctx.cancelled() {
+            let Some(v) = vertices.take_fixed(ctx) else { break };
+            let v = v as usize;
+            ctx.record_active(1);
+            let mut count = 0u64;
+            for s in 0..n {
+                if s == v {
+                    continue;
+                }
+                let sv = dist.get(ctx, s * n + v);
+                if sv == UNREACHABLE {
+                    continue;
+                }
+                for t in 0..n {
+                    ctx.compute(costs::MIN_SCAN);
+                    if t == v || t == s {
+                        continue;
+                    }
+                    let vt = dist.get(ctx, v * n + t);
+                    if vt == UNREACHABLE {
+                        continue;
+                    }
+                    if sv + vt == dist.get(ctx, s * n + t) {
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
                 centrality.fetch_add(ctx, v, count);
             }
         }
@@ -174,6 +257,16 @@ mod tests {
         // Hub is interior to all 5*4 = 20 ordered leaf pairs.
         assert_eq!(out.output.centrality[0], 20);
         assert!(out.output.centrality[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn steal_variant_matches_default_at_every_thread_count() {
+        let m = AdjacencyMatrix::from_csr(&uniform_random(32, 90, 7, 6));
+        let expect = reference(&m);
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_steal(&NativeMachine::new(threads), &m);
+            assert_eq!(out.output.centrality, expect, "threads={threads}");
+        }
     }
 
     #[test]

@@ -186,17 +186,33 @@ pub enum Ablation {
     /// Lock-free CAS-loop rank accumulation for PageRank instead of
     /// striped per-vertex locks.
     PagerankUpdate,
+    /// Work-stealing task distribution (Chase–Lev per-thread deques,
+    /// seeded victim order) for the task-parallel kernels instead of a
+    /// shared capture counter (APSP, BETW_CENT) or a lock-guarded
+    /// global branch stack (DFS).
+    TaskSteal,
+    /// Lock-free branch-and-bound publication for TSP: `fetch_min` on
+    /// the global bound plus a seqlock-guarded tour, eliminating the
+    /// paper's atomic bound lock entirely.
+    LockfreeBound,
 }
 
 impl Ablation {
     /// Every ablation, in CLI-listing order.
-    pub const ALL: [Ablation; 2] = [Ablation::FrontierRepr, Ablation::PagerankUpdate];
+    pub const ALL: [Ablation; 4] = [
+        Ablation::FrontierRepr,
+        Ablation::PagerankUpdate,
+        Ablation::TaskSteal,
+        Ablation::LockfreeBound,
+    ];
 
     /// The CLI / TSV key of this ablation.
     pub fn name(self) -> &'static str {
         match self {
             Ablation::FrontierRepr => "frontier_repr",
             Ablation::PagerankUpdate => "pagerank_update",
+            Ablation::TaskSteal => "task_steal",
+            Ablation::LockfreeBound => "lockfree_bound",
         }
     }
 
@@ -223,6 +239,10 @@ impl Ablation {
                 &[Benchmark::Bfs, Benchmark::SsspDijk, Benchmark::ConnComp]
             }
             Ablation::PagerankUpdate => &[Benchmark::PageRank],
+            Ablation::TaskSteal => {
+                &[Benchmark::Apsp, Benchmark::BetwCent, Benchmark::Dfs]
+            }
+            Ablation::LockfreeBound => &[Benchmark::Tsp],
         }
     }
 

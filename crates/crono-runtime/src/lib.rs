@@ -47,6 +47,7 @@
 mod addr;
 mod cancel;
 mod ctx;
+mod deque;
 mod locks;
 mod machine;
 mod native;
@@ -57,6 +58,7 @@ mod sync;
 pub use addr::{alloc_region, Addr, Region, LINE_SIZE};
 pub use cancel::{panic_payload, CancelCause, RunGate};
 pub use ctx::ThreadCtx;
+pub use deque::{Steal, TaskPool, WorkDeque};
 pub use locks::{LockSet, LOCK_EPOCH_CYCLES};
 pub use sync::{
     CachePadded, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,

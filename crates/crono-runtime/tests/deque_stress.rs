@@ -1,0 +1,178 @@
+//! Seeded stress/property tests for the work-stealing task layer.
+//!
+//! The Chase–Lev deque and the `TaskPool` termination protocol carry the
+//! PR-5 ablation kernels, so these tests hammer them with real threads
+//! on the native backend: single-owner push/pop against concurrent
+//! stealers, spawning workloads that grow the task set while it drains,
+//! and the `fetch_min` bound primitive the lock-free TSP publishes
+//! through. Every run is seeded; failures reproduce.
+
+use crono_runtime::{Machine, NativeMachine, SharedU64s, Steal, TaskPool, ThreadCtx, WorkDeque};
+
+/// splitmix64, for seeded per-test task values.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One owner pushes and pops; every other thread steals relentlessly.
+/// Every pushed task must be seen exactly once, whether popped by the
+/// owner or stolen.
+#[test]
+fn owner_vs_stealers_loses_and_duplicates_nothing() {
+    for &threads in &[2usize, 4, 8, 16] {
+        let tasks: u64 = 10_000;
+        let machine = NativeMachine::new(threads);
+        let deque = WorkDeque::new(1024);
+        let seen = SharedU64s::new(tasks as usize);
+        let done = SharedU64s::new(1);
+        machine.run(|ctx| {
+            if ctx.thread_id() == 0 {
+                // Owner: interleave pushes with occasional pops.
+                let mut state = 41 + threads as u64;
+                let mut next = 0u64;
+                while next < tasks {
+                    if deque.push(ctx, next) {
+                        next += 1;
+                    }
+                    if mix(&mut state) % 4 == 0 {
+                        if let Some(task) = deque.pop(ctx) {
+                            seen.fetch_add(ctx, task as usize, 1);
+                        }
+                    }
+                }
+                while let Some(task) = deque.pop(ctx) {
+                    seen.fetch_add(ctx, task as usize, 1);
+                }
+                done.set(ctx, 0, 1);
+            } else {
+                loop {
+                    match deque.steal(ctx) {
+                        Steal::Taken(task) => {
+                            seen.fetch_add(ctx, task as usize, 1);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.get(ctx, 0) == 1 && deque.is_empty() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        let counts = seen.to_vec();
+        let bad: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 1)
+            .take(8)
+            .collect();
+        assert!(
+            bad.is_empty(),
+            "threads={threads}: tasks seen != once (task, count): {bad:?}"
+        );
+    }
+}
+
+/// A spawning workload: each task may push children into the pool while
+/// it drains. The pending-counter termination must not let any thread
+/// exit while work is in flight, and no task may run twice.
+#[test]
+fn pool_spawning_workload_terminates_exactly() {
+    for &threads in &[2usize, 4, 8, 16] {
+        let roots: u64 = 640;
+        // Each root r spawns children 2r+1 and 2r+2 while id < total.
+        let total: u64 = 10_000;
+        let machine = NativeMachine::new(threads);
+        let pool = TaskPool::new(threads, 4096, 1234 + threads as u64);
+        for r in 0..roots {
+            assert!(pool.push_plain((r % threads as u64) as usize, r));
+        }
+        let seen = SharedU64s::new(total as usize);
+        machine.run(|ctx| {
+            loop {
+                let Some(task) = pool.try_take(ctx) else {
+                    if pool.pending_total(ctx) == 0 {
+                        break;
+                    }
+                    continue;
+                };
+                seen.fetch_add(ctx, task as usize, 1);
+                for child in [2 * task + roots, 2 * task + roots + 1] {
+                    if child < total {
+                        // Overflow would lose the child silently; the
+                        // ring is sized so it cannot happen here.
+                        assert!(pool.push(ctx, child), "deque overflow");
+                    }
+                }
+                pool.complete(ctx);
+            }
+        });
+        let counts = seen.to_vec();
+        let missed = counts.iter().filter(|&&c| c == 0).count();
+        let duped = counts.iter().filter(|&&c| c > 1).count();
+        // Reachable ids: roots plus every spawned child below `total`.
+        let mut reachable = vec![false; total as usize];
+        for r in 0..roots {
+            reachable[r as usize] = true;
+        }
+        for id in 0..total {
+            if reachable[id as usize] {
+                for child in [2 * id + roots, 2 * id + roots + 1] {
+                    if child < total {
+                        reachable[child as usize] = true;
+                    }
+                }
+            }
+        }
+        for (id, (&c, &r)) in counts.iter().zip(reachable.iter()).enumerate() {
+            assert_eq!(
+                c,
+                r as u64,
+                "threads={threads}: task {id} ran {c} times (reachable={r})"
+            );
+        }
+        assert_eq!((missed, duped), (counts.iter().filter(|&&c| c == 0).count(), 0));
+    }
+}
+
+/// `SharedU64s::fetch_min` must behave like an atomic min: under
+/// concurrent publication of seeded candidate bounds, the final value is
+/// the global minimum, and each thread's *returned previous value* never
+/// increases (the bound is monotone non-increasing).
+#[test]
+fn fetch_min_linearizes_to_global_minimum() {
+    for &threads in &[2usize, 4, 8, 16] {
+        let per_thread = 2500u64;
+        let machine = NativeMachine::new(threads);
+        let best = SharedU64s::filled(1, u64::MAX);
+        let outcome = machine.run(|ctx| {
+            let mut state = 0xc0ffee ^ (ctx.thread_id() as u64) << 17;
+            let mut local_min = u64::MAX;
+            let mut last_prev = u64::MAX;
+            for _ in 0..per_thread {
+                let candidate = mix(&mut state) % 1_000_000;
+                local_min = local_min.min(candidate);
+                let prev = best.fetch_min(ctx, 0, candidate);
+                assert!(
+                    prev <= last_prev,
+                    "observed bound increased: {prev} after {last_prev}"
+                );
+                last_prev = prev.min(candidate);
+                // Once published, the bound can never exceed our min.
+                assert!(best.get(ctx, 0) <= local_min);
+            }
+            local_min
+        });
+        let expect = outcome.per_thread.iter().copied().min().expect("threads");
+        assert_eq!(
+            best.get_plain(0),
+            expect,
+            "threads={threads}: final bound is the global minimum"
+        );
+    }
+}

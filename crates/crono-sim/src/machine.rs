@@ -132,6 +132,18 @@ impl SimMachine {
         self
     }
 
+    /// Forces deterministic sequenced execution even without a tracer
+    /// or fault plan: shared simulator state is touched in
+    /// `(clock, thread id)` order, so identical inputs give
+    /// byte-identical counters — at the cost of serializing the host
+    /// threads. The ablation sweeps use this for the schedule-sensitive
+    /// work-stealing variants, so `crono ablation` output is
+    /// reproducible across invocations.
+    pub fn deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
+    }
+
     /// The architectural configuration in force.
     pub fn config(&self) -> &SimConfig {
         &self.config
@@ -340,6 +352,9 @@ pub struct SimCtx {
     my_bookings: std::collections::HashMap<u64, (u64, u64)>,
     active_samples: Vec<(u64, u64)>,
     tracer: Option<ThreadTracer>,
+    /// Emit per-router `noc_route` geometry instants (from
+    /// [`TraceConfig::noc_geometry`]; meaningless without a tracer).
+    noc_geometry: bool,
     /// Deterministic fault-injection plan (`None` ⇒ no faults; decisions
     /// are pure functions, so each thread carries its own copy).
     faults: Option<FaultPlan>,
@@ -380,6 +395,7 @@ impl SimCtx {
             my_bookings: std::collections::HashMap::new(),
             active_samples: Vec::new(),
             tracer: trace.map(|c| ThreadTracer::from_config(&c)),
+            noc_geometry: trace.is_some_and(|c| c.noc_geometry),
             faults,
             fault_counters: FaultCounters::default(),
             last_stall_window: None,
@@ -870,7 +886,14 @@ impl SimCtx {
         let reply = self.route(&shared.mesh, home, self.core, reply_depart, reply_flits);
 
         if let Some(tr) = self.tracer.as_mut() {
-            tr.instant("noc", "noc_flits", issue, self.energy.router_flit_hops - flits_before);
+            let flits = self.energy.router_flit_hops - flits_before;
+            tr.instant("noc", "noc_flits", issue, flits);
+            if self.noc_geometry && flits > 0 {
+                // Attribute the transaction's flits to the home router
+                // so `crono heatmap` can draw per-router traffic.
+                let (row, col) = shared.mesh.position(home);
+                tr.instant("noc", "noc_route", issue, crono_trace::pack_route(row, col, flits));
+            }
             if waiting > 0 {
                 tr.instant("mem", "home_queue", issue, waiting);
             }

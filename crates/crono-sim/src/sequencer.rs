@@ -71,6 +71,17 @@ impl SeqState {
             .all(|(j, st)| j == tid || *st != Status::Runnable || (self.clocks[j], j) > me)
     }
 
+    /// The runnable thread with the minimum `(clock, tid)` — the next
+    /// token holder, if any thread is still runnable.
+    fn next_runnable(&self) -> Option<usize> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == Status::Runnable)
+            .min_by_key(|&(j, _)| (self.clocks[j], j))
+            .map(|(j, _)| j)
+    }
+
     fn release_if_held(&mut self, tid: usize) {
         if self.current == Some(tid) {
             self.current = None;
@@ -79,10 +90,22 @@ impl SeqState {
 }
 
 /// The scheduling monitor. One per traced [`crate::SimMachine`] run.
+///
+/// Wakeups are *targeted*: each thread parks on its own condvar and a
+/// scheduling point notifies only the computed next token holder, so a
+/// token handoff costs O(threads) scan inside the monitor but exactly
+/// one thread wakeup. (The first implementation broadcast to a single
+/// shared condvar; with 256 simulated cores that woke 255 losers per
+/// hook — a context-switch storm that made sequenced runs orders of
+/// magnitude slower than lax ones on small hosts.) A notify aimed at a
+/// thread that is not parked (it is executing toward its next hook) is
+/// intentionally droppable: that thread re-evaluates the schedule at its
+/// next scheduling point, and the token stays free until then.
 #[derive(Debug)]
 pub(crate) struct Sequencer {
     state: Mutex<SeqState>,
-    cv: Condvar,
+    /// One condvar per thread; thread `tid` only ever waits on `cvs[tid]`.
+    cvs: Vec<Condvar>,
 }
 
 impl Sequencer {
@@ -94,7 +117,7 @@ impl Sequencer {
                 current: None,
                 aborted: false,
             }),
-            cv: Condvar::new(),
+            cvs: (0..threads).map(|_| Condvar::new()).collect(),
         }
     }
 
@@ -103,6 +126,16 @@ impl Sequencer {
         // panicking sim thread must not mask its own panic message with a
         // poisoned-mutex abort in every other thread.
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Notifies the next token holder, unless that is `self_tid` (the
+    /// caller re-checks its own eligibility without a wakeup).
+    fn notify_next(&self, s: &SeqState, self_tid: usize) {
+        if let Some(next) = s.next_runnable() {
+            if next != self_tid {
+                self.cvs[next].notify_one();
+            }
+        }
     }
 
     /// Waits until the token is free and `tid` is the next holder, then
@@ -117,7 +150,7 @@ impl Sequencer {
                 s.current = Some(tid);
                 return;
             }
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            s = self.cvs[tid].wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -132,7 +165,7 @@ impl Sequencer {
         }
         s.clocks[tid] = clock;
         s.release_if_held(tid);
-        self.cv.notify_all();
+        self.notify_next(&s, tid);
         self.acquire(s, tid);
     }
 
@@ -151,15 +184,24 @@ impl Sequencer {
             .iter()
             .all(|st| matches!(st, Status::AtBarrier | Status::Done));
         if all_arrived {
-            for st in s.status.iter_mut() {
+            // Collective rejoin: every participant wakes (once per
+            // barrier, not per hook) and runs thread-local post-barrier
+            // code freely until its next shared hook republishes.
+            for (j, st) in s.status.iter_mut().enumerate() {
                 if *st == Status::AtBarrier {
                     *st = Status::Runnable;
+                    if j != tid {
+                        self.cvs[j].notify_one();
+                    }
                 }
             }
+        } else {
+            // Still threads running toward the barrier: hand the free
+            // token to whichever of them is next.
+            self.notify_next(&s, tid);
         }
-        self.cv.notify_all();
         while s.status[tid] != Status::Runnable && !s.aborted {
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            s = self.cvs[tid].wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -173,7 +215,7 @@ impl Sequencer {
         }
         s.status[tid] = Status::BlockedOn(key);
         s.release_if_held(tid);
-        self.cv.notify_all();
+        self.notify_next(&s, tid);
         loop {
             if s.aborted {
                 return;
@@ -182,13 +224,16 @@ impl Sequencer {
                 s.current = Some(tid);
                 return;
             }
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            s = self.cvs[tid].wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    /// Makes every thread parked on `key` runnable again. The caller
-    /// still holds the run token, so the woken threads only resume at the
-    /// caller's next turn point — in deterministic `(clock, tid)` order.
+    /// Makes every thread parked on `key` runnable again. The woken
+    /// threads only resume once the token frees up and comes around to
+    /// them — in deterministic `(clock, tid)` order. The unlocking caller
+    /// normally still holds the token (its next scheduling point does the
+    /// handoff); the notify below covers the defensive case where it does
+    /// not.
     pub(crate) fn wake(&self, key: u64) {
         let mut s = self.lock();
         for st in s.status.iter_mut() {
@@ -196,7 +241,11 @@ impl Sequencer {
                 *st = Status::Runnable;
             }
         }
-        self.cv.notify_all();
+        if s.current.is_none() {
+            if let Some(next) = s.next_runnable() {
+                self.cvs[next].notify_one();
+            }
+        }
     }
 
     /// Releases the token and removes a finished thread from the
@@ -205,7 +254,7 @@ impl Sequencer {
         let mut s = self.lock();
         s.status[tid] = Status::Done;
         s.release_if_held(tid);
-        self.cv.notify_all();
+        self.notify_next(&s, tid);
     }
 
     /// Cancels the schedule: drops the run token and releases every
@@ -215,7 +264,9 @@ impl Sequencer {
         let mut s = self.lock();
         s.aborted = true;
         s.current = None;
-        self.cv.notify_all();
+        for cv in &self.cvs {
+            cv.notify_one();
+        }
     }
 }
 

@@ -20,10 +20,13 @@ crono — regenerate the CRONO (IISWC 2015) tables and figures
 
 USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
              [--out DIR] [--trace DIR] [--resume] [--quiet]
+       crono ablation [--backend sim|native] [--ablation NAME]
+             [--scale test|small|paper] [--out DIR] [--resume] [--quiet]
        crono trace --bench <NAME> [--threads N] [--scale test|small|paper]
              [--backend sim|native] [--ablation NAME] [--out FILE]
              [--capacity N] [--quiet]
        crono trace-diff <A.json> <B.json> [--tolerance F] [--quiet]
+       crono heatmap <TRACE.json> [--out FILE] [--quiet]
        crono faults [--quick] [--scale test|small|paper] [--seed N]
              [--threads N] [--out DIR] [--resume] [--quiet]
 
@@ -42,13 +45,17 @@ COMMANDS:
   fig8     OOO speedups
   fig9     Real-machine speedups (native threads)
   ablation Optimized kernel variants vs defaults (frontier_repr,
-           pagerank_update) across thread counts
+           pagerank_update, task_steal, lockfree_bound) across thread
+           counts; --ablation NAME restricts to one group, --backend
+           native compares wall-clock + MTEPS on the real machine
   compare  Paper-vs-measured best speedups + qualitative claims
   all      Everything above (shares simulator sweeps)
   trace    One traced run -> Chrome trace JSON (Perfetto-loadable)
   trace-diff  Compare two traces' counter summaries; exits nonzero if
            the second regressed (count/arg_sum grew beyond --tolerance,
            a relative fraction, default 0)
+  heatmap  Aggregate a simulator trace's per-router NoC traffic
+           (noc_route instants) into a mesh heatmap TSV
   faults   Deterministic fault-injection sweep: completion-time
            degradation + injected-event counters per fault rate
            (--quick: CI smoke sweep, BFS only at test scale)
@@ -70,6 +77,16 @@ struct Options {
     trace_dir: Option<PathBuf>,
     resume: bool,
     progress: bool,
+    /// `crono ablation --backend native`: compare kernels on the real
+    /// machine (wall-clock + MTEPS) instead of the simulator.
+    native_backend: bool,
+    /// `crono ablation --ablation NAME`: restrict to one group.
+    ablation_filter: Option<Ablation>,
+}
+
+fn unknown_ablation(name: &str) -> String {
+    let names: Vec<&str> = Ablation::ALL.iter().map(|a| a.name()).collect();
+    format!("unknown ablation {name:?} ({})", names.join("|"))
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -80,6 +97,8 @@ fn parse_args() -> Result<Options, String> {
     let mut trace_dir = None;
     let mut resume = false;
     let mut progress = true;
+    let mut native_backend = false;
+    let mut ablation_filter = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -91,6 +110,19 @@ fn parse_args() -> Result<Options, String> {
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--trace" => {
                 trace_dir = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
+            "--backend" => {
+                let name = args.next().ok_or("--backend needs a value")?;
+                native_backend = match name.as_str() {
+                    "native" => true,
+                    "sim" => false,
+                    _ => return Err(format!("unknown backend {name:?} (sim|native)")),
+                };
+            }
+            "--ablation" => {
+                let name = args.next().ok_or("--ablation needs a value")?;
+                ablation_filter =
+                    Some(Ablation::by_name(&name).ok_or_else(|| unknown_ablation(&name))?);
             }
             "--resume" => resume = true,
             "--quiet" => progress = false,
@@ -104,6 +136,12 @@ fn parse_args() -> Result<Options, String> {
         return Err("--resume needs --out DIR (the checkpoint lives in the output directory)"
             .to_string());
     }
+    if (native_backend || ablation_filter.is_some()) && command != "ablation" {
+        return Err(
+            "--backend and --ablation only apply to `crono ablation` (and `crono trace`)"
+                .to_string(),
+        );
+    }
     Ok(Options {
         command,
         scale,
@@ -111,6 +149,8 @@ fn parse_args() -> Result<Options, String> {
         trace_dir,
         resume,
         progress,
+        native_backend,
+        ablation_filter,
     })
 }
 
@@ -250,9 +290,7 @@ fn parse_trace_args(mut args: impl Iterator<Item = String>) -> Result<TraceOptio
         match flag.as_str() {
             "--ablation" => {
                 let name = args.next().ok_or("--ablation needs a value")?;
-                ablation = Some(Ablation::by_name(&name).ok_or_else(|| {
-                    format!("unknown ablation {name:?} (frontier_repr|pagerank_update)")
-                })?);
+                ablation = Some(Ablation::by_name(&name).ok_or_else(|| unknown_ablation(&name))?);
             }
             "--bench" => {
                 let name = args.next().ok_or("--bench needs a value")?;
@@ -345,7 +383,10 @@ fn trace_command(args: impl Iterator<Item = String>) -> Result<(), String> {
         opts.threads,
         opts.backend,
         &sim_config,
-        &TraceConfig::with_capacity(opts.capacity),
+        // Explicit single-benchmark traces carry router geometry so
+        // `crono heatmap` can aggregate them; sweep traces keep the
+        // leaner default stream.
+        &TraceConfig::with_capacity(opts.capacity).noc_geometry(true),
         opts.ablation,
     );
     if let Some(dir) = opts.out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -414,6 +455,55 @@ fn trace_diff_command(mut args: impl Iterator<Item = String>) -> Result<bool, St
     }
 }
 
+/// `crono heatmap trace.json [--out heat.tsv] [--quiet]`.
+///
+/// Aggregates a Chrome-JSON simulator trace's `noc_route` instants
+/// (emitted by `crono trace`, which records router geometry) into a
+/// per-router mesh-traffic TSV.
+fn heatmap_command(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut progress = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--quiet" => progress = false,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}\n\n{USAGE}"))
+            }
+            path if trace_path.is_none() => trace_path = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument {extra:?}\n\n{USAGE}")),
+        }
+    }
+    let trace_path = trace_path.ok_or(format!("heatmap needs a trace file\n\n{USAGE}"))?;
+    let json = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("read {}: {e}", trace_path.display()))?;
+    let heat = crono_trace::Heatmap::from_chrome_json(&json)
+        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    if progress {
+        eprintln!(
+            "[heatmap] {}x{} mesh, {} flit-hops over {} route event(s)",
+            heat.rows(),
+            heat.cols(),
+            heat.total_flits(),
+            heat.total_events()
+        );
+    }
+    match out {
+        Some(path) => {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("create {}: {e}", dir.display()))?;
+            }
+            std::fs::write(&path, heat.to_tsv())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        None => print!("{}", heat.to_tsv()),
+    }
+    Ok(())
+}
+
 fn emit(tables: &[Table], out: &Option<PathBuf>) -> Result<(), String> {
     for t in tables {
         println!("{}", t.render());
@@ -449,6 +539,16 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("{e}");
                 ExitCode::from(2)
+            }
+        };
+    }
+    if raw.peek().map(String::as_str) == Some("heatmap") {
+        raw.next();
+        return match heatmap_command(raw) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
             }
         };
     }
@@ -515,12 +615,22 @@ fn main() -> ExitCode {
                         if opts.progress && !ck.is_empty() {
                             eprintln!("[ablation] resuming: {} cell(s) already done", ck.len());
                         }
-                        let t = ablation::generate_resumable(
-                            &opts.scale,
-                            &config,
-                            opts.progress,
-                            Some(&mut ck),
-                        );
+                        let t = if opts.native_backend {
+                            ablation::generate_native_resumable(
+                                &opts.scale,
+                                opts.ablation_filter,
+                                opts.progress,
+                                Some(&mut ck),
+                            )
+                        } else {
+                            ablation::generate_resumable(
+                                &opts.scale,
+                                &config,
+                                opts.ablation_filter,
+                                opts.progress,
+                                Some(&mut ck),
+                            )
+                        };
                         if let Err(e) = ck.clear() {
                             eprintln!(
                                 "warning: could not remove finished checkpoint {}: {e}",
@@ -536,8 +646,20 @@ fn main() -> ExitCode {
                         std::process::exit(1);
                     }
                 }
+            } else if opts.native_backend {
+                tables.push(ablation::generate_native(
+                    &opts.scale,
+                    opts.ablation_filter,
+                    opts.progress,
+                ));
             } else {
-                tables.push(ablation::generate(&opts.scale, &config, opts.progress));
+                tables.push(ablation::generate_resumable(
+                    &opts.scale,
+                    &config,
+                    opts.ablation_filter,
+                    opts.progress,
+                    None,
+                ));
             }
         }
         "compare" => {

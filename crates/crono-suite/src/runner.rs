@@ -52,6 +52,18 @@ pub fn run_parallel_ablated<M: Machine>(
         (Some(Ablation::PagerankUpdate), Benchmark::PageRank) => {
             pagerank::parallel_cas(machine, &w.graph, w.pagerank_iters).report
         }
+        (Some(Ablation::TaskSteal), Benchmark::Apsp) => {
+            apsp::parallel_steal(machine, &w.matrix).report
+        }
+        (Some(Ablation::TaskSteal), Benchmark::BetwCent) => {
+            betweenness::parallel_steal(machine, &w.matrix).report
+        }
+        (Some(Ablation::TaskSteal), Benchmark::Dfs) => {
+            dfs::parallel_steal(machine, &w.graph, w.source, None).report
+        }
+        (Some(Ablation::LockfreeBound), Benchmark::Tsp) => {
+            tsp::parallel_lockfree(machine, &w.tsp).report
+        }
         _ => run_parallel(bench, machine, w),
     }
 }

@@ -1,0 +1,135 @@
+//! Golden counter-invariance gate for the task-parallel kernels.
+//!
+//! The PR-5 work-stealing task layer adds *opt-in* kernel variants for
+//! the task-parallel half of the suite (APSP, BETW_CENT, TSP, DFS). The
+//! paper-faithful defaults must stay bit-identical: this test pins every
+//! simulated counter of the default kernels against a golden fingerprint
+//! captured before the task layer existed
+//! (`tests/golden_counters_taskpar.txt`). It complements
+//! `counter_invariance.rs`, which pins BFS + PageRank; together the two
+//! files guard both halves of the suite.
+//!
+//! Symbolic addresses come from a process-global bump allocator, so the
+//! fingerprint is only reproducible from a *fresh* process; like the
+//! other golden gates, the test re-executes itself in child mode.
+//!
+//! To regenerate after an *intentional* timing-model change:
+//!
+//! ```text
+//! CRONO_GOLDEN_UPDATE=1 cargo test -p crono-suite --test task_parallel_invariance
+//! ```
+
+use crono_algos::Benchmark;
+use crono_sim::{SimConfig, SimMachine};
+use crono_suite::runner::run_parallel;
+use crono_suite::trace::{assemble, TraceBackend};
+use crono_suite::{Scale, Workload};
+use crono_trace::TraceConfig;
+use std::fmt::Write as _;
+
+const GOLDEN: &str = include_str!("golden_counters_taskpar.txt");
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_counters_taskpar.txt");
+
+/// The exact configuration the golden file was captured under.
+const THREAD_COUNTS: [usize; 3] = [1, 4, 16];
+const BENCHES: [Benchmark; 4] = [
+    Benchmark::Apsp,
+    Benchmark::BetwCent,
+    Benchmark::Tsp,
+    Benchmark::Dfs,
+];
+
+/// Runs the four task-parallel benchmarks at 1/4/16 traced threads on
+/// the fixed seeded `test`-scale inputs and renders every simulated
+/// counter as text. Deterministic only in a fresh process
+/// (bump-allocated addresses).
+fn fingerprint() -> String {
+    let scale = Scale::test();
+    let w = Workload::synthetic(&scale);
+    let mut out = String::new();
+    for bench in BENCHES {
+        for threads in THREAD_COUNTS {
+            let machine =
+                SimMachine::with_tracing(SimConfig::tiny(16), threads, TraceConfig::default());
+            let report = run_parallel(bench, &machine, &w);
+            let (c, m, e) = (report.completion, report.misses, report.energy);
+            let _ = writeln!(out, "run {} threads={threads}", bench.label());
+            let _ = writeln!(out, "  completion {c}");
+            let _ = writeln!(
+                out,
+                "  misses l1d={} cold={} capacity={} sharing={} l2a={} l2m={}",
+                m.l1d_accesses,
+                m.cold_misses,
+                m.capacity_misses,
+                m.sharing_misses,
+                m.l2_accesses,
+                m.l2_misses
+            );
+            let _ = writeln!(
+                out,
+                "  energy l1i={} l1d={} l2={} dir={} router={} link={} dram={}",
+                e.l1i_accesses,
+                e.l1d_accesses,
+                e.l2_accesses,
+                e.directory_accesses,
+                e.router_flit_hops,
+                e.link_flit_hops,
+                e.dram_accesses
+            );
+            let trace = assemble(bench, scale.name, TraceBackend::Sim, report);
+            let _ = writeln!(out, "  dropped {}", trace.total_dropped());
+            for (name, stat) in trace.counters() {
+                let _ = writeln!(out, "  ctr {name} count={} arg_sum={}", stat.count, stat.arg_sum);
+            }
+        }
+    }
+    out
+}
+
+/// Re-runs this test binary filtered to `test_name` with `child_env`
+/// set, and returns the child's fingerprint lines.
+fn child_fingerprint(test_name: &str, child_env: &str) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .args(["--exact", test_name, "--nocapture", "--test-threads=1"])
+        .env(child_env, "1")
+        .output()
+        .expect("spawn child test process");
+    assert!(out.status.success(), "child failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let got: String = stdout
+        .lines()
+        .filter(|l| l.starts_with("run ") || l.starts_with("  "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(
+        got.contains("run APSP threads=1") && got.contains("run DFS threads=16"),
+        "child produced no fingerprint:\n{stdout}"
+    );
+    got
+}
+
+#[test]
+fn task_parallel_defaults_are_invariant() {
+    if std::env::var_os("CRONO_GOLDEN_TASKPAR_CHILD").is_some() {
+        print!("{}", fingerprint());
+        return;
+    }
+    let got = child_fingerprint(
+        "task_parallel_defaults_are_invariant",
+        "CRONO_GOLDEN_TASKPAR_CHILD",
+    );
+    if std::env::var_os("CRONO_GOLDEN_UPDATE").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden file");
+        eprintln!("golden file updated at {GOLDEN_PATH}");
+        return;
+    }
+    assert_eq!(
+        got, GOLDEN,
+        "simulated counters of the default APSP/BETW_CENT/TSP/DFS kernels \
+         drifted from the golden fingerprint; the task-layer variants are \
+         opt-in and must leave the defaults bit-identical. If the timing \
+         model changed intentionally, regenerate with CRONO_GOLDEN_UPDATE=1"
+    );
+}

@@ -45,9 +45,11 @@
 #![warn(missing_docs)]
 
 mod diff;
+mod heatmap;
 mod json;
 mod ring;
 
 pub use diff::{CounterDelta, CounterSummary, TraceDiff};
+pub use heatmap::{pack_route, unpack_route, Heatmap, RouterTraffic};
 pub use json::{Trace, TraceMeta};
 pub use ring::{CounterStat, Event, EventKind, ThreadTrace, ThreadTracer, TraceConfig};

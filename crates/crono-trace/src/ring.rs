@@ -42,6 +42,13 @@ pub struct TraceConfig {
     /// full, further events are dropped and counted exactly — memory
     /// stays bounded and the loss is always reported, never silent.
     pub capacity: usize,
+    /// Emit per-router NoC geometry instants (`noc_route`): each home
+    /// transaction additionally records its home slice's mesh
+    /// coordinates and flit count, packed into the instant's `arg` (see
+    /// [`crate::heatmap`]). Off by default — the extra event per
+    /// transaction changes counter fingerprints, so geometry is strictly
+    /// opt-in (the `crono trace`/`crono heatmap` path turns it on).
+    pub noc_geometry: bool,
 }
 
 impl TraceConfig {
@@ -52,14 +59,21 @@ impl TraceConfig {
     /// Panics if `capacity == 0`.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "trace ring needs capacity > 0");
-        TraceConfig { capacity }
+        TraceConfig { capacity, ..Self::default() }
+    }
+
+    /// Returns the config with NoC geometry instants switched on/off.
+    pub fn noc_geometry(mut self, on: bool) -> Self {
+        self.noc_geometry = on;
+        self
     }
 }
 
 impl Default for TraceConfig {
-    /// 64 Ki events per thread (~2.5 MB/thread at 40 B/event).
+    /// 64 Ki events per thread (~2.5 MB/thread at 40 B/event), no NoC
+    /// geometry instants.
     fn default() -> Self {
-        TraceConfig { capacity: 64 * 1024 }
+        TraceConfig { capacity: 64 * 1024, noc_geometry: false }
     }
 }
 

@@ -81,6 +81,54 @@ echo "==> trace-diff smoke test"
 ./target/release/crono trace-diff "$trace_out/a.json" "$trace_out/b.json" --quiet
 echo "trace-diff OK: identical configs produce a zero counter delta"
 
+echo "==> ablation kernel-variant smoke runs"
+# One optimized variant per task-parallel kernel (PR-5): each traced run
+# must complete and produce a parseable Chrome trace.
+for pair in "apsp task_steal" "betw_cent task_steal" "dfs task_steal" \
+            "tsp lockfree_bound"; do
+  set -- $pair
+  ./target/release/crono trace --bench "$1" --ablation "$2" --scale test \
+    --threads 4 --quiet --out "$trace_out/abl-$1.json"
+  grep -q '"traceEvents"' "$trace_out/abl-$1.json"
+done
+echo "ablation smokes OK: task_steal + lockfree_bound variants traced"
+
+echo "==> lock-free TSP lock_hold gate"
+# The paper-faithful TSP serializes on the bound lock; the lock-free
+# variant must trace zero lock_hold spans. The default must trace some,
+# or the gate would be vacuous.
+./target/release/crono trace --bench tsp --scale test --threads 4 \
+  --quiet --out "$trace_out/tsp-default.json"
+if ! grep -q 'lock_hold' "$trace_out/tsp-default.json"; then
+  echo "ERROR: default TSP trace has no lock_hold spans (gate vacuous)" >&2
+  exit 1
+fi
+if grep -q 'lock_hold' "$trace_out/abl-tsp.json"; then
+  echo "ERROR: lock-free TSP trace still contains lock_hold spans" >&2
+  exit 1
+fi
+echo "lock_hold gate OK: default TSP locks, lockfree variant does not"
+
+echo "==> NoC heatmap well-formedness"
+# Aggregate a traced run into the per-router heatmap: rectangular TSV,
+# header plus at least one mesh row, every line with the same columns.
+./target/release/crono heatmap "$trace_out/abl-apsp.json" --quiet \
+  --out "$trace_out/heat.tsv"
+awk -F'\t' 'NR == 1 { cols = NF; next } NF != cols { exit 1 }
+            END { exit (NR < 2) }' "$trace_out/heat.tsv"
+echo "heatmap OK: rectangular per-router TSV"
+
+echo "==> ablation determinism gate"
+# The deterministic ablation groups must be byte-identical across fresh
+# processes (seeded stealing order, sequenced schedule).
+./target/release/crono ablation --ablation lockfree_bound --scale test \
+  --quiet --out "$trace_out/abl-run-a" >/dev/null
+./target/release/crono ablation --ablation lockfree_bound --scale test \
+  --quiet --out "$trace_out/abl-run-b" >/dev/null
+cmp "$trace_out/abl-run-a/ablation_kernels.tsv" \
+    "$trace_out/abl-run-b/ablation_kernels.tsv"
+echo "ablation determinism OK: two runs byte-identical"
+
 echo "==> fault-injection smoke test"
 # The quick sweep must produce a TSV whose non-zero-rate row actually
 # injected NoC retransmits (column 5), and the checkpoint must be gone
