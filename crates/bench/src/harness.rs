@@ -56,6 +56,11 @@ impl Criterion {
 /// iteration of the following benchmark functions processes. For the
 /// graph kernels an element is a traversed edge, so the derived rate is
 /// MTEPS (millions of traversed edges per second).
+///
+/// Derive the count from the *built* input (`graph.num_directed_edges()`,
+/// `matrix.num_vertices()`…), never from the requested generator
+/// parameters: generators may round their output (e.g. grid dimensions),
+/// and a requested-size denominator would silently misreport MTEPS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Throughput {
     /// Elements (edges, for the kernels) processed per iteration.
@@ -426,6 +431,29 @@ mod tests {
         assert_eq!(s.elements, Some(2_000_000));
         let mteps = s.mteps_median.unwrap();
         assert!((mteps - 2000.0).abs() < 1e-9, "got {mteps}");
+    }
+
+    #[test]
+    fn mteps_unit_conversion_is_pinned() {
+        // Guard against unit slips in the ×1e3 shortcut: MTEPS must
+        // equal the long-hand (elements / seconds) / 1e6 on values where
+        // a ×1e3-vs-×1e6 (or ns-vs-µs) mistake would be glaring.
+        for (elements, median_ns) in
+            [(1u64, 1u64), (131_072, 250_000), (1_000_000_000, 1)]
+        {
+            let s = FunctionStats::from_samples("t".into(), vec![median_ns])
+                .with_elements(elements);
+            let seconds = median_ns as f64 / 1e9;
+            let long_hand = elements as f64 / seconds / 1e6;
+            let mteps = s.mteps_median.unwrap();
+            assert!(
+                (mteps - long_hand).abs() <= 1e-9 * long_hand.max(1.0),
+                "elements={elements} median_ns={median_ns}: {mteps} != {long_hand}"
+            );
+        }
+        // A zero-ns median must not divide by zero.
+        let s = FunctionStats::from_samples("t".into(), vec![0]).with_elements(100);
+        assert!(s.mteps_median.unwrap().is_finite());
     }
 
     #[test]

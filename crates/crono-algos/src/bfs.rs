@@ -41,6 +41,12 @@ pub fn run_seq<C: ThreadCtx>(ctx: &mut C, graph: &SharedGraph<'_>, source: Verte
     level.set(ctx, source as usize, 0);
     let mut queue = VecDeque::from([source]);
     while let Some(v) = queue.pop_front() {
+        // Uncharged poll: lets a cancelled (or over-budget, see
+        // `crono_runtime::BudgetCtx`) query drain out early without
+        // changing what a completed run charges.
+        if ctx.cancelled() {
+            break;
+        }
         ctx.compute(costs::VISIT);
         ctx.record_active(queue.len() as u64 + 1);
         let lv = level.get(ctx, v as usize);
@@ -53,6 +59,106 @@ pub fn run_seq<C: ThreadCtx>(ctx: &mut C, graph: &SharedGraph<'_>, source: Verte
         }
     }
     level.into_vec()
+}
+
+/// Width of one multi-source batch: sources share the bit lanes of a
+/// `u64` mask, so one shared graph sweep serves up to 64 searches.
+pub const MULTI_WIDTH: usize = 64;
+
+/// Multi-source BFS: runs up to [`MULTI_WIDTH`] searches in **one**
+/// shared level-synchronous sweep (the MS-BFS idea: per-vertex `u64`
+/// masks carry one bit lane per source, so a frontier vertex expands
+/// once for every search that reaches it at the same depth).
+///
+/// Returns one level array per source, each **identical** to what
+/// [`run_seq`] returns for that source alone — BFS hop distances are
+/// schedule-independent, so batching is purely a cost optimization: the
+/// offset/neighbor arrays are touched once per level instead of once per
+/// level *per source*. The serving engine amortizes the sweep's modeled
+/// cost evenly across the batched queries.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty, longer than [`MULTI_WIDTH`], or
+/// contains an out-of-range vertex.
+pub fn run_multi<C: ThreadCtx>(
+    ctx: &mut C,
+    graph: &SharedGraph<'_>,
+    sources: &[VertexId],
+) -> Vec<Vec<u32>> {
+    let n = graph.num_vertices();
+    let k = sources.len();
+    assert!(k > 0, "multi-source BFS needs at least one source");
+    assert!(k <= MULTI_WIDTH, "at most {MULTI_WIDTH} sources per batch");
+    for &s in sources {
+        assert!((s as usize) < n, "source vertex out of range");
+    }
+    // `seen`/`cur`/`next` are the per-vertex lane masks; every touch is
+    // charged so the sweep's modeled cost reflects the real amortization
+    // (one mask word read per vertex replaces k frontier-byte reads).
+    let mut seen = TrackedVec::filled(n, 0u64);
+    let mut fronts = [TrackedVec::filled(n, 0u64), TrackedVec::filled(n, 0u64)];
+    let mut level = vec![vec![UNVISITED; n]; k];
+    for (lane, &s) in sources.iter().enumerate() {
+        let bit = 1u64 << lane;
+        let prev = seen.get(ctx, s as usize);
+        seen.set(ctx, s as usize, prev | bit);
+        let cur0 = fronts[0].get(ctx, s as usize);
+        fronts[0].set(ctx, s as usize, cur0 | bit);
+        level[lane][s as usize] = 0;
+    }
+    let mut depth = 0u32;
+    loop {
+        if ctx.cancelled() {
+            break;
+        }
+        ctx.span_begin("bfs:multi_level");
+        let (cur, next) = {
+            let (a, b) = fronts.split_at_mut(1);
+            if depth % 2 == 0 {
+                (&mut a[0], &mut b[0])
+            } else {
+                (&mut b[0], &mut a[0])
+            }
+        };
+        let mut activated = false;
+        let mut processed = 0u64;
+        for v in 0..n {
+            let mask = cur.get(ctx, v);
+            if mask == 0 {
+                continue;
+            }
+            cur.set(ctx, v, 0);
+            processed += 1;
+            ctx.compute(costs::VISIT);
+            for e in graph.edge_range(ctx, v as VertexId) {
+                let u = graph.neighbor(ctx, e) as usize;
+                let seen_u = seen.get(ctx, u);
+                let fresh = mask & !seen_u;
+                if fresh != 0 {
+                    seen.set(ctx, u, seen_u | fresh);
+                    let next_u = next.get(ctx, u);
+                    next.set(ctx, u, next_u | fresh);
+                    activated = true;
+                    let mut lanes = fresh;
+                    while lanes != 0 {
+                        let lane = lanes.trailing_zeros() as usize;
+                        level[lane][u] = depth + 1;
+                        lanes &= lanes - 1;
+                    }
+                }
+            }
+        }
+        if processed > 0 {
+            ctx.record_active(processed);
+        }
+        ctx.span_end("bfs:multi_level");
+        if !activated {
+            break;
+        }
+        depth += 1;
+    }
+    level
 }
 
 /// Runs the sequential reference on a one-thread machine.
@@ -418,6 +524,64 @@ mod tests {
             let inner = parallel_inner(&NativeMachine::new(threads), &g, 0);
             assert_eq!(inner.output.level, outer.output.level, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn multi_source_matches_independent_runs() {
+        let g = uniform_random(256, 1024, 4, 9);
+        let sources: Vec<VertexId> = vec![0, 3, 17, 42, 100, 255, 3];
+        let (multi, singles) = NativeMachine::new(1)
+            .run(|ctx| {
+                let view = SharedGraph::new(&g);
+                let multi = run_multi(ctx, &view, &sources);
+                let singles: Vec<Vec<u32>> = sources
+                    .iter()
+                    .map(|&s| run_seq(ctx, &view, s))
+                    .collect();
+                (multi, singles)
+            })
+            .per_thread
+            .pop()
+            .expect("one thread");
+        assert_eq!(multi, singles);
+    }
+
+    #[test]
+    fn multi_source_full_width_batch() {
+        let g = road_network(16, 16, 4, 0.2, 0.0, 5);
+        let sources: Vec<VertexId> = (0..MULTI_WIDTH as u32 * 4).step_by(4).collect();
+        assert_eq!(sources.len(), MULTI_WIDTH);
+        NativeMachine::new(1).run(|ctx| {
+            let view = SharedGraph::new(&g);
+            let multi = run_multi(ctx, &view, &sources);
+            for (lane, &s) in sources.iter().enumerate() {
+                let single = run_seq(ctx, &view, s);
+                assert_eq!(multi[lane], single, "lane {lane} (source {s})");
+            }
+        });
+    }
+
+    #[test]
+    fn multi_source_amortizes_sweep_cost() {
+        // The whole point of batching: k searches in one sweep must charge
+        // far fewer modeled instructions than k independent sweeps.
+        let g = uniform_random(512, 4096, 4, 21);
+        let sources: Vec<VertexId> = (0..32).map(|i| i * 16).collect();
+        NativeMachine::new(1).run(|ctx| {
+            let view = SharedGraph::new(&g);
+            let before = ctx.instructions();
+            let _ = run_multi(ctx, &view, &sources);
+            let batched = ctx.instructions() - before;
+            let before = ctx.instructions();
+            for &s in &sources {
+                let _ = run_seq(ctx, &view, s);
+            }
+            let independent = ctx.instructions() - before;
+            assert!(
+                batched * 2 < independent,
+                "batched={batched} independent={independent}"
+            );
+        });
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub fn run_seq<C: ThreadCtx>(ctx: &mut C, graph: &SharedGraph<'_>, source: Verte
     let mut heap = BinaryHeap::new();
     heap.push(Reverse((0u32, source)));
     while let Some(Reverse((d, v))) = heap.pop() {
+        // Uncharged poll: lets a cancelled (or over-budget, see
+        // `crono_runtime::BudgetCtx`) query drain out early without
+        // changing what a completed run charges.
+        if ctx.cancelled() {
+            break;
+        }
         ctx.compute(costs::HEAP_OP);
         if done.get(ctx, v as usize) {
             continue;

@@ -1,0 +1,186 @@
+//! Per-task instruction budgets: a delegating [`ThreadCtx`] wrapper
+//! whose cancellation flag also trips when the wrapped context has
+//! charged more than a fixed number of modeled instructions since the
+//! wrapper was created.
+//!
+//! This is how the serving engine enforces *per-query deadlines* on top
+//! of the PR-4 cancellation machinery without any new kernel hooks: the
+//! reentrant point-query kernels already poll [`ThreadCtx::cancelled`]
+//! at their loop heads, so wrapping their context in a [`BudgetCtx`]
+//! makes an over-budget query drain out at the next poll — exactly the
+//! way a watchdog-cancelled run drains out — while every other query on
+//! the machine keeps running. Because the budget is counted in modeled
+//! instructions (deterministic for a fixed query against a fixed graph),
+//! the abort point is schedule-independent: the same query against the
+//! same graph always stops at the same place, on any thread, in any run.
+
+use crate::ctx::ThreadCtx;
+use crate::{Addr, LockSet};
+
+/// A [`ThreadCtx`] that reports cancellation once `budget` modeled
+/// instructions have been charged through it (or when the inner context
+/// is itself cancelled).
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{BudgetCtx, Machine, NativeMachine, ThreadCtx};
+///
+/// NativeMachine::new(1).run(|ctx| {
+///     let mut b = BudgetCtx::new(ctx, 10);
+///     while !b.cancelled() {
+///         b.compute(4);
+///     }
+///     assert!(b.exhausted());
+///     assert!(b.spent() >= 10);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct BudgetCtx<'a, C: ThreadCtx> {
+    inner: &'a mut C,
+    start: u64,
+    budget: u64,
+}
+
+impl<'a, C: ThreadCtx> BudgetCtx<'a, C> {
+    /// Wraps `inner`, allowing `budget` further modeled instructions.
+    pub fn new(inner: &'a mut C, budget: u64) -> Self {
+        let start = inner.instructions();
+        BudgetCtx {
+            inner,
+            start,
+            budget,
+        }
+    }
+
+    /// Instructions charged through this wrapper so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.instructions().saturating_sub(self.start)
+    }
+
+    /// Whether the budget has been used up (independent of whether the
+    /// inner context was cancelled for other reasons).
+    pub fn exhausted(&self) -> bool {
+        self.spent() >= self.budget
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+impl<C: ThreadCtx> ThreadCtx for BudgetCtx<'_, C> {
+    fn thread_id(&self) -> usize {
+        self.inner.thread_id()
+    }
+
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    fn load(&mut self, addr: Addr) {
+        self.inner.load(addr);
+    }
+
+    fn store(&mut self, addr: Addr) {
+        self.inner.store(addr);
+    }
+
+    fn rmw(&mut self, addr: Addr) {
+        self.inner.rmw(addr);
+    }
+
+    fn compute(&mut self, cycles: u32) {
+        self.inner.compute(cycles);
+    }
+
+    fn lock(&mut self, set: &LockSet, idx: usize) {
+        self.inner.lock(set, idx);
+    }
+
+    fn unlock(&mut self, set: &LockSet, idx: usize) {
+        self.inner.unlock(set, idx);
+    }
+
+    fn barrier(&mut self) {
+        self.inner.barrier();
+    }
+
+    fn record_active(&mut self, active: u64) {
+        self.inner.record_active(active);
+    }
+
+    fn instructions(&self) -> u64 {
+        self.inner.instructions()
+    }
+
+    fn span_begin(&mut self, name: &'static str) {
+        self.inner.span_begin(name);
+    }
+
+    fn span_end(&mut self, name: &'static str) {
+        self.inner.span_end(name);
+    }
+
+    fn trace_instant(&mut self, name: &'static str, value: u64) {
+        self.inner.trace_instant(name, value);
+    }
+
+    fn tracing(&self) -> bool {
+        self.inner.tracing()
+    }
+
+    /// Budget exhaustion reads as cancellation, so kernels that poll at
+    /// loop heads drain out. The poll itself charges nothing — budgets
+    /// never change what a run *would* have charged.
+    fn cancelled(&self) -> bool {
+        self.inner.cancelled() || self.exhausted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::native::NativeMachine;
+
+    #[test]
+    fn budget_trips_cancellation_deterministically() {
+        let spent = NativeMachine::new(1)
+            .run(|ctx| {
+                let mut b = BudgetCtx::new(ctx, 100);
+                let mut iters = 0u64;
+                while !b.cancelled() {
+                    b.compute(7);
+                    iters += 1;
+                }
+                assert!(b.exhausted());
+                (b.spent(), iters)
+            })
+            .per_thread
+            .pop()
+            .expect("one thread");
+        // 7 cycles per iteration: cancelled after ceil(100/7) = 15 iters.
+        assert_eq!(spent, (7 * 15, 15));
+    }
+
+    #[test]
+    fn untouched_budget_is_not_cancelled() {
+        NativeMachine::new(1).run(|ctx| {
+            ctx.compute(1_000); // spent *before* wrapping must not count
+            let b = BudgetCtx::new(ctx, 1);
+            assert!(!b.cancelled());
+            assert_eq!(b.spent(), 0);
+        });
+    }
+
+    #[test]
+    fn zero_budget_cancels_immediately() {
+        NativeMachine::new(1).run(|ctx| {
+            let b = BudgetCtx::new(ctx, 0);
+            assert!(b.cancelled());
+            assert!(b.exhausted());
+        });
+    }
+}

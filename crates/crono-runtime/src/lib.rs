@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod budget;
 mod cancel;
 mod ctx;
 mod deque;
@@ -56,6 +57,7 @@ mod shared;
 mod sync;
 
 pub use addr::{alloc_region, Addr, Region, LINE_SIZE};
+pub use budget::BudgetCtx;
 pub use cancel::{panic_payload, CancelCause, RunGate};
 pub use ctx::ThreadCtx;
 pub use deque::{Steal, TaskPool, WorkDeque};

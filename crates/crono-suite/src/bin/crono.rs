@@ -29,6 +29,11 @@ USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
        crono heatmap <TRACE.json> [--out FILE] [--quiet]
        crono faults [--quick] [--scale test|small|paper] [--seed N]
              [--threads N] [--out DIR] [--resume] [--quiet]
+       crono serve --workload FILE [--scale test|small|paper]
+             [--threads N] [--timeout-ms N] [--out DIR] [--quiet]
+       crono bombard [--queries N] [--clients N] [--seed N]
+             [--scale test|small|paper] [--threads N] [--timeout-ms N]
+             [--out DIR] [--quiet]
 
 COMMANDS:
   table1   Benchmarks and parallelizations
@@ -59,6 +64,14 @@ COMMANDS:
   faults   Deterministic fault-injection sweep: completion-time
            degradation + injected-event counters per fault rate
            (--quick: CI smoke sweep, BFS only at test scale)
+  serve    Long-lived query engine: replay a workload file (one query
+           per line: `<bfs|sssp|pagerank|centrality> <vertex>
+           [deadline=N]`) against the scale's graph and report per-kind
+           p50/p99 modeled latency + QPS (serve.tsv with --out)
+  bombard  Seeded closed-loop load generator against the same engine:
+           mixed BFS/SSSP/PageRank stream with a hot set; repeated runs
+           with one seed are byte-identical (latency is modeled, not
+           wall-clock)
 
 `--trace DIR` re-runs each swept benchmark at its best thread count with
 tracing enabled and writes one trace JSON per benchmark into DIR
@@ -504,6 +517,168 @@ fn heatmap_command(mut args: impl Iterator<Item = String>) -> Result<(), String>
     Ok(())
 }
 
+/// Options shared by `crono serve` (workload replay) and
+/// `crono bombard` (seeded load generation).
+struct ServeOptions {
+    scale: Scale,
+    threads: usize,
+    workload: Option<PathBuf>,
+    queries: usize,
+    clients: usize,
+    seed: u64,
+    timeout_ms: Option<u64>,
+    out: Option<PathBuf>,
+    progress: bool,
+}
+
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptions, String> {
+    let mut scale = Scale::small();
+    let mut threads = 8usize;
+    let mut workload = None;
+    let mut queries = 512usize;
+    let mut clients = 32usize;
+    let mut seed = 7u64;
+    let mut timeout_ms = None;
+    let mut out = None;
+    let mut progress = true;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let name = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::by_name(&name)
+                    .ok_or_else(|| format!("unknown scale {name:?} (test|small|paper)"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&t: &usize| t > 0)
+                    .ok_or_else(|| format!("invalid thread count {v:?}"))?;
+            }
+            "--workload" => {
+                workload = Some(PathBuf::from(args.next().ok_or("--workload needs a value")?));
+            }
+            "--queries" => {
+                let v = args.next().ok_or("--queries needs a value")?;
+                queries = v
+                    .parse()
+                    .ok()
+                    .filter(|&q: &usize| q > 0)
+                    .ok_or_else(|| format!("invalid query count {v:?}"))?;
+            }
+            "--clients" => {
+                let v = args.next().ok_or("--clients needs a value")?;
+                clients = v
+                    .parse()
+                    .ok()
+                    .filter(|&c: &usize| c > 0)
+                    .ok_or_else(|| format!("invalid client count {v:?}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("invalid seed {v:?}"))?;
+            }
+            "--timeout-ms" => {
+                let v = args.next().ok_or("--timeout-ms needs a value")?;
+                timeout_ms = Some(
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&t| t > 0)
+                        .ok_or_else(|| format!("invalid timeout {v:?}"))?,
+                );
+            }
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--quiet" => progress = false,
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(ServeOptions {
+        scale,
+        threads,
+        workload,
+        queries,
+        clients,
+        seed,
+        timeout_ms,
+        out,
+        progress,
+    })
+}
+
+/// `crono serve` (replay = true requires --workload) and
+/// `crono bombard` (generated stream).
+fn serve_command(args: impl Iterator<Item = String>, replay: bool) -> Result<(), String> {
+    use crono_suite::engine::{EngineOptions, ServeEngine};
+    use crono_suite::serve::{bombard, parse_workload, run_workload, summarize, BombardOptions};
+
+    let opts = parse_serve_args(args)?;
+    let queries = match (&opts.workload, replay) {
+        (Some(path), true) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            Some(parse_workload(&text).map_err(|e| format!("{}: {e}", path.display()))?)
+        }
+        (None, true) => return Err(format!("serve needs --workload FILE\n\n{USAGE}")),
+        (Some(_), false) => {
+            return Err("--workload only applies to `crono serve`; bombard generates \
+                 its own stream"
+                .to_string())
+        }
+        (None, false) => None,
+    };
+    if opts.progress {
+        eprintln!(
+            "[serve] building scale '{}' graph ({} vertices)",
+            opts.scale.name, opts.scale.sparse_vertices
+        );
+    }
+    let w = crono_suite::Workload::synthetic(&opts.scale);
+    let engine_opts = EngineOptions {
+        pagerank_iters: w.pagerank_iters,
+        batch_timeout: opts.timeout_ms.map(std::time::Duration::from_millis),
+        ..EngineOptions::default()
+    };
+    let mut engine = ServeEngine::new(
+        crono_runtime::NativeMachine::new(opts.threads),
+        w.graph,
+        engine_opts,
+    );
+    let wall = std::time::Instant::now();
+    let outcomes = match queries {
+        Some(qs) => run_workload(&mut engine, &qs),
+        None => bombard(
+            &mut engine,
+            &BombardOptions {
+                queries: opts.queries,
+                clients: opts.clients,
+                seed: opts.seed,
+            },
+        ),
+    };
+    let wall = wall.elapsed();
+    if opts.progress {
+        // Wall-clock numbers go to stderr only: serve.tsv reports
+        // modeled latency/throughput and must stay byte-identical
+        // across runs and hosts.
+        let stats = engine.stats();
+        eprintln!(
+            "[serve] {} queries in {:.2?} wall ({:.0} wall-QPS): {} served, \
+             {} cache hit(s), {} error(s), {} rejection(s), {} batch(es)",
+            outcomes.len(),
+            wall,
+            outcomes.len() as f64 / wall.as_secs_f64().max(1e-9),
+            stats.served,
+            stats.cache_hits,
+            stats.errors,
+            stats.rejected,
+            stats.batches,
+        );
+    }
+    let table = summarize(&outcomes, opts.threads);
+    emit(&[table], &opts.out)
+}
+
 fn emit(tables: &[Table], out: &Option<PathBuf>) -> Result<(), String> {
     for t in tables {
         println!("{}", t.render());
@@ -555,6 +730,17 @@ fn main() -> ExitCode {
     if raw.peek().map(String::as_str) == Some("faults") {
         raw.next();
         return match faults_command(raw) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(cmd @ ("serve" | "bombard")) = raw.peek().map(String::as_str) {
+        let replay = cmd == "serve";
+        raw.next();
+        return match serve_command(raw, replay) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("{e}");

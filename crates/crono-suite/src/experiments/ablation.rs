@@ -71,8 +71,7 @@ pub fn generate_resumable(
     // (label propagation there runs for ~diameter iterations with a
     // shrinking wavefront — the case the bitmap exists for).
     let road = {
-        let rows = (scale.sparse_vertices as f64).sqrt() as usize;
-        let cols = scale.sparse_vertices / rows;
+        let (rows, cols) = road_grid_dims(scale.sparse_vertices);
         let mut road_w = Workload::synthetic(scale);
         road_w.graph = road_network(rows, cols, 64, 0.05, 0.0, 11);
         road_w
@@ -99,10 +98,12 @@ pub fn generate_resumable(
         let mut default_row = Vec::new();
         let mut optimized_row = Vec::new();
         for &t in &threads {
+            // Keyed on the *built* graph's vertex count, not the scale's
+            // nominal one — the road grid covers >= sparse_vertices.
             let key = format!(
                 "ablation|{}|{bench_label}|v{}|c{}|t{t}",
                 ablation.name(),
-                scale.sparse_vertices,
+                w.graph.num_vertices(),
                 config.num_cores
             );
             if let Some(cell) = ckpt.as_deref().and_then(|c| c.get(&key)) {
@@ -180,6 +181,21 @@ pub fn generate_resumable(
         );
     }
     table
+}
+
+/// Grid dimensions for the road-network comparison input: the smallest
+/// near-square grid covering **at least** `vertices` vertices.
+///
+/// The old `cols = vertices / rows` floor silently dropped up to
+/// `rows - 1` vertices whenever `vertices` was not a perfect square, so
+/// the road row ran on a smaller graph than its label claimed (and any
+/// per-vertex throughput denominator derived from the scale was wrong).
+/// `div_ceil` rounds the other way: `rows * cols >= vertices`, and
+/// reported counts are always derived from the *built* graph.
+pub fn road_grid_dims(vertices: usize) -> (usize, usize) {
+    let rows = (vertices as f64).sqrt() as usize;
+    let rows = rows.max(2);
+    (rows, vertices.div_ceil(rows).max(2))
 }
 
 /// Elements "traversed" by one parallel run of `bench`, for MTEPS
@@ -341,6 +357,29 @@ mod tests {
         }
         let stem = t.file_stem();
         assert_eq!(stem, "ablation_kernels");
+    }
+
+    /// Regression: `cols = v / rows` dropped up to `rows - 1` vertices
+    /// for non-square vertex counts (512 -> 22x23 = 506, 6 dropped).
+    #[test]
+    fn road_grid_covers_every_vertex() {
+        for v in [512usize, 1000, 16_384, 1_048_576, 5, 7, 101] {
+            let (rows, cols) = road_grid_dims(v);
+            assert!(
+                rows * cols >= v,
+                "grid {rows}x{cols} drops {} of {v} vertices",
+                v - rows * cols
+            );
+            // Still near-square: never more than one extra column's worth.
+            assert!(rows * cols < v + rows + cols, "grid {rows}x{cols} overshoots {v}");
+        }
+        // Perfect squares stay exact.
+        assert_eq!(road_grid_dims(256), (16, 16));
+        // The test scale's 512 vertices previously built a 506-vertex
+        // graph; the built graph must now cover all 512.
+        let (rows, cols) = road_grid_dims(Scale::test().sparse_vertices);
+        let g = road_network(rows, cols, 64, 0.05, 0.0, 11);
+        assert!(g.num_vertices() >= Scale::test().sparse_vertices);
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub fn generate(sweep: &Sweep) -> Table {
     );
     for bench in sweep.benchmarks() {
         for threads in sweep.thread_counts() {
-            let report = &sweep.parallel[&(bench, threads)];
+            let Some(report) = sweep.parallel.get(&(bench, threads)) else {
+                continue;
+            };
             let b = report.breakdown();
             let total = b.total().max(1) as f64;
             t.push_row(vec![
@@ -39,7 +41,7 @@ pub fn generate(sweep: &Sweep) -> Table {
                 pct(b.l2home_offchip as f64 / total),
                 pct(b.synchronization as f64 / total),
                 f2(report.variability()),
-                f2(sweep.speedup(bench, threads)),
+                f2(sweep.speedup(bench, threads).unwrap_or(0.0)),
             ]);
         }
     }
@@ -54,7 +56,9 @@ pub fn best_speedups(sweep: &Sweep) -> Table {
         vec!["Benchmark", "Best threads", "Speedup"],
     );
     for bench in sweep.benchmarks() {
-        let (threads, speedup) = sweep.best(bench);
+        let Some((threads, speedup)) = sweep.best(bench) else {
+            continue;
+        };
         t.push_row(vec![
             bench.label().to_string(),
             threads.to_string(),

@@ -21,8 +21,12 @@ pub fn generate(sweep: &Sweep) -> Table {
         headers,
     );
     for bench in sweep.benchmarks() {
-        let (threads, _) = sweep.best(bench);
-        let report = &sweep.parallel[&(bench, threads)];
+        let Some((threads, _)) = sweep.best(bench) else {
+            continue;
+        };
+        let Some(report) = sweep.parallel.get(&(bench, threads)) else {
+            continue;
+        };
         let buckets = bucketize(&report.active_vertex_trace(), report.completion);
         let mut row = vec![bench.label().to_string(), threads.to_string()];
         row.extend(buckets.iter().map(|&v| f2(v)));
@@ -39,7 +43,10 @@ pub fn bucketize(samples: &[(u64, u64)], completion: u64) -> [f64; BUCKETS] {
     let mut counts = [0u64; BUCKETS];
     let completion = completion.max(1);
     for &(time, active) in samples {
-        let b = ((time * BUCKETS as u64) / completion).min(BUCKETS as u64 - 1) as usize;
+        // Widen before multiplying: `time * BUCKETS` overflows u64 for
+        // completion times above u64::MAX / BUCKETS.
+        let b = ((time as u128 * BUCKETS as u128) / completion as u128)
+            .min(BUCKETS as u128 - 1) as usize;
         sums[b] += active as f64;
         counts[b] += 1;
     }
@@ -81,5 +88,26 @@ mod tests {
     fn late_samples_clamp_into_last_bucket() {
         let b = bucketize(&[(1_000, 5)], 100);
         assert!(b[BUCKETS - 1] > 0.0);
+    }
+
+    #[test]
+    fn boundary_sample_at_completion_lands_in_last_bucket() {
+        // time == completion sits exactly on the upper edge; it must
+        // clamp into the last decile, not wrap or scramble.
+        let b = bucketize(&[(100, 7)], 100);
+        assert!((b[BUCKETS - 1] - 1.0).abs() < 1e-12);
+        assert!(b[..BUCKETS - 1].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn huge_completion_times_do_not_overflow() {
+        // Pre-fix, `time * BUCKETS` wrapped for time > u64::MAX / 10 and
+        // scrambled the bucket index. Early and late samples near
+        // u64::MAX must land in the first and last deciles.
+        let completion = u64::MAX;
+        let b = bucketize(&[(1, 3), (completion - 1, 9), (completion, 9)], completion);
+        assert!(b[0] > 0.0, "early sample in first bucket: {b:?}");
+        assert!(b[BUCKETS - 1] > 0.0, "late samples in last bucket: {b:?}");
+        assert!(b[1..BUCKETS - 1].iter().all(|&v| v == 0.0), "{b:?}");
     }
 }

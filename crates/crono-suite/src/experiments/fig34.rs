@@ -19,8 +19,13 @@ pub fn fig3(sweep: &Sweep) -> Table {
         ],
     );
     for bench in sweep.benchmarks() {
-        let (threads, _) = sweep.best(bench);
-        let m = &sweep.parallel[&(bench, threads)].misses;
+        let Some((threads, _)) = sweep.best(bench) else {
+            continue;
+        };
+        let Some(report) = sweep.parallel.get(&(bench, threads)) else {
+            continue;
+        };
+        let m = &report.misses;
         let denom = m.l1d_accesses.max(1) as f64;
         t.push_row(vec![
             bench.label().to_string(),
@@ -41,8 +46,13 @@ pub fn fig4(sweep: &Sweep) -> Table {
         vec!["Benchmark", "Threads", "HierarchyMissRate%"],
     );
     for bench in sweep.benchmarks() {
-        let (threads, _) = sweep.best(bench);
-        let m = &sweep.parallel[&(bench, threads)].misses;
+        let Some((threads, _)) = sweep.best(bench) else {
+            continue;
+        };
+        let Some(report) = sweep.parallel.get(&(bench, threads)) else {
+            continue;
+        };
+        let m = &report.misses;
         t.push_row(vec![
             bench.label().to_string(),
             threads.to_string(),

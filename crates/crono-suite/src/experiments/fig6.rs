@@ -24,8 +24,12 @@ pub fn generate(sweep: &Sweep, model: &EnergyModel) -> Table {
         ],
     );
     for bench in sweep.benchmarks() {
-        let (threads, _) = sweep.best(bench);
-        let report = &sweep.parallel[&(bench, threads)];
+        let Some((threads, _)) = sweep.best(bench) else {
+            continue;
+        };
+        let Some(report) = sweep.parallel.get(&(bench, threads)) else {
+            continue;
+        };
         let e = model.evaluate(&report.energy).normalized();
         t.push_row(vec![
             bench.label().to_string(),

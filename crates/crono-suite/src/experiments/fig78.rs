@@ -22,8 +22,13 @@ pub fn fig7(sweep: &Sweep) -> Table {
         ],
     );
     for bench in sweep.benchmarks() {
-        let (threads, _) = sweep.best(bench);
-        let b = sweep.parallel[&(bench, threads)].breakdown();
+        let Some((threads, _)) = sweep.best(bench) else {
+            continue;
+        };
+        let Some(report) = sweep.parallel.get(&(bench, threads)) else {
+            continue;
+        };
+        let b = report.breakdown();
         let total = b.total().max(1) as f64;
         t.push_row(vec![
             bench.label().to_string(),
@@ -46,7 +51,9 @@ pub fn fig8(sweep: &Sweep) -> Table {
         vec!["Benchmark", "Best threads", "Speedup"],
     );
     for bench in sweep.benchmarks() {
-        let (threads, speedup) = sweep.best(bench);
+        let Some((threads, speedup)) = sweep.best(bench) else {
+            continue;
+        };
         t.push_row(vec![
             bench.label().to_string(),
             threads.to_string(),

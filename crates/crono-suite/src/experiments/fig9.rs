@@ -21,7 +21,12 @@ pub fn render(sweep: &NativeSweep) -> Table {
     for bench in Benchmark::ALL {
         let mut row = vec![bench.label().to_string()];
         for &threads in &sweep.thread_counts {
-            row.push(f2(sweep.speedup(bench, threads)));
+            // Unswept points render as "-" instead of panicking.
+            row.push(
+                sweep
+                    .speedup(bench, threads)
+                    .map_or_else(|| "-".to_string(), f2),
+            );
         }
         t.push_row(row);
     }

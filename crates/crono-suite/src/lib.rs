@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod engine;
 pub mod experiments;
 pub mod paper;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod serve;
 pub mod trace;
 pub mod workload;
 

@@ -58,8 +58,10 @@ pub fn table4_facebook(bench: Benchmark) -> Option<f64> {
 /// Qualitative claims of §V the reproduction should preserve, as
 /// machine-checkable predicates over a sweep. Returns `(claim, holds)`.
 pub fn check_claims(sweep: &Sweep) -> Vec<(&'static str, bool)> {
-    let best = |b: Benchmark| sweep.best(b).1;
-    let breakdown_at_best = |b: Benchmark| sweep.best_report(b).breakdown();
+    // Benchmarks a filtered sweep excluded score 0 / have no breakdown:
+    // the claims referencing them read "NO" instead of panicking.
+    let best = |b: Benchmark| sweep.best(b).map_or(0.0, |(_, s)| s);
+    let breakdown_at_best = |b: Benchmark| sweep.best_report(b).map(|r| r.breakdown());
     let mut claims = Vec::new();
 
     claims.push((
@@ -85,19 +87,16 @@ pub fn check_claims(sweep: &Sweep) -> Vec<(&'static str, bool)> {
     ));
     claims.push((
         "synchronization/coherence dominate the weak scalers at best threads",
-        {
-            let b = breakdown_at_best(Benchmark::SsspDijk);
+        breakdown_at_best(Benchmark::SsspDijk).is_some_and(|b| {
             let comm_share = (b.synchronization + b.l2home_waiting + b.l2home_sharers) as f64
                 / b.total().max(1) as f64;
             comm_share > 0.3
-        },
+        }),
     ));
     claims.push((
         "compute and L1Cache-L2Home dominate APSP at best threads",
-        {
-            let b = breakdown_at_best(Benchmark::Apsp);
-            (b.compute + b.l1_to_l2home) as f64 / b.total().max(1) as f64 > 0.5
-        },
+        breakdown_at_best(Benchmark::Apsp)
+            .is_some_and(|b| (b.compute + b.l1_to_l2home) as f64 / b.total().max(1) as f64 > 0.5),
     ));
     claims.push((
         "off-chip bandwidth is not the scalability limiter at best threads",
@@ -105,8 +104,7 @@ pub fn check_claims(sweep: &Sweep) -> Vec<(&'static str, bool)> {
             if !sweep.sequential.contains_key(&b) {
                 return true;
             }
-            let br = breakdown_at_best(b);
-            br.l2home_offchip * 2 < br.total().max(1)
+            breakdown_at_best(b).map_or(true, |br| br.l2home_offchip * 2 < br.total().max(1))
         }),
     ));
     claims
@@ -120,7 +118,9 @@ pub fn compare(sweep: &Sweep) -> Vec<Table> {
         vec!["Benchmark", "Paper", "Measured", "Best threads", "Ratio"],
     );
     for bench in sweep.benchmarks() {
-        let (threads, measured) = sweep.best(bench);
+        let Some((threads, measured)) = sweep.best(bench) else {
+            continue;
+        };
         let paper = table4_sparse(bench);
         t.push_row(vec![
             bench.label().to_string(),

@@ -165,33 +165,32 @@ impl Sweep {
         t
     }
 
-    /// Speedup of `bench` at `threads` over its sequential reference.
-    pub fn speedup(&self, bench: Benchmark, threads: usize) -> f64 {
-        let seq = self.sequential[&bench].completion as f64;
-        let par = self.parallel[&(bench, threads)].completion as f64;
-        if par == 0.0 {
-            0.0
-        } else {
-            seq / par
-        }
+    /// Speedup of `bench` at `threads` over its sequential reference, or
+    /// `None` when the sweep did not cover that `(bench, threads)` point
+    /// (filtered sweeps legitimately exclude benchmarks and thread
+    /// counts — indexing would panic).
+    pub fn speedup(&self, bench: Benchmark, threads: usize) -> Option<f64> {
+        let seq = self.sequential.get(&bench)?.completion as f64;
+        let par = self.parallel.get(&(bench, threads))?.completion as f64;
+        Some(if par == 0.0 { 0.0 } else { seq / par })
     }
 
     /// `(threads, speedup)` of the best-performing thread count (the
     /// paper reports most per-benchmark statistics "at the best thread
-    /// count").
-    pub fn best(&self, bench: Benchmark) -> (usize, f64) {
+    /// count"), or `None` when the sweep excluded `bench`.
+    pub fn best(&self, bench: Benchmark) -> Option<(usize, f64)> {
         self.parallel
             .keys()
             .filter(|(b, _)| *b == bench)
-            .map(|&(_, t)| (t, self.speedup(bench, t)))
+            .filter_map(|&(_, t)| Some((t, self.speedup(bench, t)?)))
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("sweep covered this benchmark")
     }
 
-    /// The report at `bench`'s best thread count.
-    pub fn best_report(&self, bench: Benchmark) -> &RunReport {
-        let (t, _) = self.best(bench);
-        &self.parallel[&(bench, t)]
+    /// The report at `bench`'s best thread count, or `None` when the
+    /// sweep excluded `bench`.
+    pub fn best_report(&self, bench: Benchmark) -> Option<&RunReport> {
+        let (t, _) = self.best(bench)?;
+        self.parallel.get(&(bench, t))
     }
 
     /// Re-runs every swept benchmark at its best thread count with event
@@ -210,7 +209,9 @@ impl Sweep {
         std::fs::create_dir_all(dir)?;
         let mut written = Vec::new();
         for bench in self.benchmarks() {
-            let (threads, _) = self.best(bench);
+            let Some((threads, _)) = self.best(bench) else {
+                continue;
+            };
             if progress {
                 eprintln!("[trace] {bench}: {threads} threads");
             }
@@ -275,15 +276,12 @@ impl NativeSweep {
         }
     }
 
-    /// Wall-clock speedup of `bench` at `threads`.
-    pub fn speedup(&self, bench: Benchmark, threads: usize) -> f64 {
-        let seq = self.sequential[&bench].completion as f64;
-        let par = self.parallel[&(bench, threads)].completion as f64;
-        if par == 0.0 {
-            0.0
-        } else {
-            seq / par
-        }
+    /// Wall-clock speedup of `bench` at `threads`, or `None` when the
+    /// sweep did not cover that point.
+    pub fn speedup(&self, bench: Benchmark, threads: usize) -> Option<f64> {
+        let seq = self.sequential.get(&bench)?.completion as f64;
+        let par = self.parallel.get(&(bench, threads))?.completion as f64;
+        Some(if par == 0.0 { 0.0 } else { seq / par })
     }
 }
 
@@ -323,10 +321,39 @@ mod tests {
         );
         assert_eq!(sweep.benchmarks(), vec![Benchmark::Bfs, Benchmark::TriCnt]);
         assert_eq!(sweep.thread_counts(), vec![1, 4, 16]);
-        let (t, s) = sweep.best(Benchmark::Bfs);
+        let (t, s) = sweep.best(Benchmark::Bfs).expect("BFS was swept");
         assert!(scale.thread_counts.contains(&t));
         assert!(s > 0.0);
-        assert!(sweep.best_report(Benchmark::Bfs).completion > 0);
+        assert!(sweep.best_report(Benchmark::Bfs).expect("BFS was swept").completion > 0);
+    }
+
+    /// Regression: the accessors used to index the maps directly and
+    /// panicked when asked about a benchmark a filtered sweep excluded.
+    #[test]
+    fn filtered_sweep_accessors_return_none_instead_of_panicking() {
+        let scale = Scale::test();
+        let config = SimConfig::tiny(16);
+        let sweep = Sweep::run_filtered(&scale, &config, false, &[Benchmark::Bfs]);
+        // Excluded benchmark: every accessor answers None, no panic.
+        assert_eq!(sweep.speedup(Benchmark::Tsp, 4), None);
+        assert_eq!(sweep.best(Benchmark::Tsp), None);
+        assert!(sweep.best_report(Benchmark::Tsp).is_none());
+        // Covered benchmark at an unswept thread count: also None.
+        assert_eq!(sweep.speedup(Benchmark::Bfs, 999), None);
+        // Covered points still answer.
+        assert!(sweep.speedup(Benchmark::Bfs, 4).expect("swept point") > 0.0);
+    }
+
+    /// Regression (native flavor of the same bug): `NativeSweep::speedup`
+    /// indexed both maps directly.
+    #[test]
+    fn native_sweep_speedup_is_none_off_the_swept_grid() {
+        let sweep = NativeSweep {
+            sequential: HashMap::new(),
+            parallel: HashMap::new(),
+            thread_counts: vec![1, 2],
+        };
+        assert_eq!(sweep.speedup(Benchmark::Bfs, 2), None);
     }
 
     #[test]

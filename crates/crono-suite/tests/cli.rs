@@ -333,6 +333,128 @@ fn ablation_resume_requires_out() {
 }
 
 #[test]
+fn serve_replays_a_mixed_workload_and_writes_serve_tsv() {
+    let dir = std::env::temp_dir().join(format!("crono-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wl = dir.join("workload.txt");
+    std::fs::write(
+        &wl,
+        "# mixed point queries\n\
+         bfs 17\n\
+         sssp 40\n\
+         pagerank 12\n\
+         centrality 3\n\
+         bfs 17          # duplicate: shares one unit of work\n\
+         bfs 9999        # out of range: per-query error\n",
+    )
+    .expect("write workload");
+    let out = crono()
+        .args(["serve", "--scale", "test", "--threads", "4", "--quiet", "--workload"])
+        .arg(&wl)
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tsv = std::fs::read_to_string(dir.join("serve.tsv")).expect("serve.tsv written");
+    let lines: Vec<&str> = tsv.lines().collect();
+    assert!(lines[0].contains("p50_us") && lines[0].contains("QPS"), "{tsv}");
+    let width = lines[0].split('\t').count();
+    assert!(
+        lines.iter().all(|l| l.split('\t').count() == width),
+        "ragged serve.tsv:\n{tsv}"
+    );
+    // bfs + sssp + pagerank + centrality + TOTAL.
+    assert_eq!(lines.len(), 6, "{tsv}");
+    let total: Vec<&str> = lines[5].split('\t').collect();
+    assert_eq!(total[0], "TOTAL");
+    assert_eq!(total[1], "6", "six queries issued: {tsv}");
+    assert_eq!(total[2], "5", "five succeed: {tsv}");
+    assert_eq!(total[5], "1", "the out-of-range query errors: {tsv}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_requires_workload_and_reports_parse_errors_cleanly() {
+    let out = crono()
+        .args(["serve", "--scale", "test", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workload"));
+
+    let dir = std::env::temp_dir().join(format!("crono-serve-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wl = dir.join("bad.txt");
+    std::fs::write(&wl, "bfs 1\nfrobnicate 2\n").expect("write workload");
+    let out = crono()
+        .args(["serve", "--scale", "test", "--quiet", "--workload"])
+        .arg(&wl)
+        .output()
+        .expect("binary runs");
+    assert_clean_failure(&out);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 2"),
+        "parse error must name the line"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The PR's acceptance criterion: repeated seeded `crono bombard` runs
+/// produce byte-identical serve.tsv files — latency and throughput are
+/// modeled, so the report is independent of wall-clock jitter.
+#[test]
+fn bombard_is_byte_identical_across_processes() {
+    let dir = std::env::temp_dir().join(format!("crono-bombard-cli-{}", std::process::id()));
+    let run = |sub: &str| {
+        let out_dir = dir.join(sub);
+        let out = crono()
+            .args([
+                "bombard", "--scale", "test", "--threads", "4", "--queries", "96",
+                "--clients", "8", "--seed", "11", "--quiet", "--out",
+            ])
+            .arg(&out_dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(out_dir.join("serve.tsv")).expect("tsv written")
+    };
+    let a = run("a");
+    let b = run("b");
+    assert_eq!(a, b, "seeded bombard runs must be byte-identical");
+    let total = a.lines().last().expect("TOTAL row");
+    let cells: Vec<&str> = total.split('\t').collect();
+    assert_eq!(cells[0], "TOTAL");
+    assert_eq!(cells[1], "96", "every issued query reported: {a}");
+    assert_eq!(cells[1], cells[2], "all succeed on a mixed stream: {a}");
+    let hits: u64 = cells[3].parse().expect("CacheHits column");
+    assert!(hits > 0, "hot set produced no cache reuse: {a}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bombard_rejects_bad_arguments_cleanly() {
+    for bad in [
+        vec!["bombard", "--queries", "0"],
+        vec!["bombard", "--clients", "none"],
+        vec!["bombard", "--seed", "notanumber"],
+        vec!["bombard", "--workload", "/tmp/x"],
+        vec!["serve", "--threads", "0"],
+    ] {
+        let out = crono().args(&bad).output().expect("binary runs");
+        assert_clean_failure(&out);
+    }
+}
+
+#[test]
 fn fig3_runs_at_test_scale() {
     let out = crono()
         .args(["fig3", "--scale", "test", "--quiet"])

@@ -150,6 +150,39 @@ echo "==> fault-sweep determinism"
 cmp "$faults_tsv" "$trace_out/faults-b/faults.tsv"
 echo "faults determinism OK: two sweeps byte-identical"
 
+echo "==> serve smoke: mixed query batch, well-formed serve.tsv"
+# The serving engine must answer a mixed workload (every query kind,
+# a duplicate, and a deliberate out-of-range error) and report a
+# rectangular TSV with the latency percentiles in the header.
+cat > "$trace_out/workload.txt" <<'EOF'
+# CI smoke workload: every kind, one duplicate, one bad vertex
+bfs 17
+sssp 40
+pagerank 12
+centrality 3
+bfs 17
+bfs 9999
+EOF
+./target/release/crono serve --scale test --threads 4 --quiet \
+  --workload "$trace_out/workload.txt" --out "$trace_out/serve" >/dev/null
+serve_tsv="$trace_out/serve/serve.tsv"
+head -1 "$serve_tsv" | grep -q 'p50_us'
+awk -F'\t' 'NR == 1 { cols = NF; next } NF != cols { exit 1 }
+            END { exit (NR < 2) }' "$serve_tsv"
+# TOTAL row: 6 queries, 5 served, exactly the bad vertex errors.
+awk -F'\t' '$1 == "TOTAL" { exit !($2 == 6 && $3 == 5 && $6 == 1) }' "$serve_tsv"
+echo "serve OK: mixed batch served, rectangular serve.tsv"
+
+echo "==> bombard determinism gate"
+# Seeded closed-loop load generation reports modeled latency, so two
+# fresh processes must write byte-identical serve.tsv files.
+./target/release/crono bombard --scale test --threads 4 --queries 96 \
+  --clients 8 --seed 11 --quiet --out "$trace_out/bombard-a" >/dev/null
+./target/release/crono bombard --scale test --threads 4 --queries 96 \
+  --clients 8 --seed 11 --quiet --out "$trace_out/bombard-b" >/dev/null
+cmp "$trace_out/bombard-a/serve.tsv" "$trace_out/bombard-b/serve.tsv"
+echo "bombard determinism OK: two runs byte-identical"
+
 echo "==> panic-containment tests"
 # A panicking kernel must yield a typed error (not a deadlock or abort)
 # on both backends; re-run those tests by name.
