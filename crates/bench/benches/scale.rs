@@ -1,0 +1,79 @@
+//! Scale-track benches: out-of-core streaming build and sharded BFS on
+//! both adjacency representations, with bytes/edge and peak RSS
+//! recorded as JSON metrics alongside the timings.
+
+use crono_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use crono_algos::scale::sharded_bfs;
+use crono_graph::gen::RmatParams;
+use crono_graph::shard::Partition;
+use crono_graph::stream::{build_sharded, RmatStream, StreamConfig};
+use crono_graph::{CompressedCsr, CsrGraph};
+use crono_runtime::NativeMachine;
+
+const SCALE: u32 = 14;
+const DEGREE: u64 = 16;
+
+fn stream() -> RmatStream {
+    let draws = (1u64 << SCALE) * DEGREE;
+    RmatStream::new(SCALE, draws, 8, RmatParams::default(), 42).expect("valid stream parameters")
+}
+
+fn spill_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("crono-bench-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("spill dir");
+    dir
+}
+
+fn bench(c: &mut Criterion) {
+    let partition = Partition::one_d(1 << SCALE, 4);
+    let dir = spill_dir();
+    // A small sort buffer forces the external-sort path so the bench
+    // times what the scale track actually does at large inputs.
+    let cfg = StreamConfig::new(&dir).with_sort_buffer_edges(1 << 16);
+
+    let mut g = c.benchmark_group("scale_track");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    let s = stream();
+    g.throughput(Throughput::Elements(s.num_draws()));
+    g.bench_function("stream_build/compressed", |b| {
+        b.iter(|| {
+            build_sharded::<CompressedCsr, _>(partition, s.edges(), &cfg)
+                .expect("build succeeds")
+                .1
+                .edges_packed
+        })
+    });
+    g.bench_function("stream_build/plain", |b| {
+        b.iter(|| {
+            build_sharded::<CsrGraph, _>(partition, s.edges(), &cfg)
+                .expect("build succeeds")
+                .1
+                .edges_packed
+        })
+    });
+
+    let (packed, _) =
+        build_sharded::<CompressedCsr, _>(partition, s.edges(), &cfg).expect("build succeeds");
+    let (plain, _) =
+        build_sharded::<CsrGraph, _>(partition, s.edges(), &cfg).expect("build succeeds");
+    g.metric("bytes_per_edge_compressed", packed.bytes_per_edge());
+    g.metric("bytes_per_edge_plain", plain.bytes_per_edge());
+
+    let machine = NativeMachine::new(4);
+    g.throughput(Throughput::Elements(packed.num_directed_edges() as u64));
+    g.bench_function("sharded_bfs/compressed", |b| {
+        b.iter(|| sharded_bfs(&machine, &packed, 0).total_edges())
+    });
+    g.bench_function("sharded_bfs/plain", |b| {
+        b.iter(|| sharded_bfs(&machine, &plain, 0).total_edges())
+    });
+
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

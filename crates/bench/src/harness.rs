@@ -48,6 +48,7 @@ impl Criterion {
             measurement: Duration::from_millis(env_u64("CRONO_BENCH_MEASURE_MS", 3_000)),
             throughput: None,
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 }
@@ -198,9 +199,18 @@ pub struct BenchmarkGroup {
     measurement: Duration,
     throughput: Option<u64>,
     results: Vec<FunctionStats>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl BenchmarkGroup {
+    /// Records a named scalar metric emitted alongside the group's
+    /// timing stats (e.g. `bytes_per_edge` for the scale benches).
+    /// Metrics are descriptive context, not timed measurements —
+    /// they land in the JSON `metrics` object verbatim.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
     /// Sets the per-function sample target (overridden by
     /// `CRONO_BENCH_SAMPLES`).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
@@ -292,6 +302,19 @@ impl BenchmarkGroup {
         let _ = writeln!(json, "  \"sample_target\": {},", self.sample_size);
         let total_wall: u64 = self.results.iter().map(|s| s.wall_ns).sum();
         let _ = writeln!(json, "  \"total_wall_ns\": {total_wall},");
+        // Peak RSS of the whole bench process so far: a high-water mark
+        // (Linux VmHWM), so it bounds every function in the group.
+        if let Some(rss) = crono_graph::stream::peak_rss_bytes() {
+            let _ = writeln!(json, "  \"peak_rss_bytes\": {rss},");
+        }
+        if !self.metrics.is_empty() {
+            let cells: Vec<String> = self
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+                .collect();
+            let _ = writeln!(json, "  \"metrics\": {{{}}},", cells.join(", "));
+        }
         let _ = writeln!(json, "  \"functions\": [");
         for (i, s) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };

@@ -46,6 +46,7 @@ pub mod connected;
 pub mod costs;
 pub mod dfs;
 pub mod pagerank;
+pub mod scale;
 pub mod sssp;
 pub mod triangle;
 pub mod tsp;

@@ -1,4 +1,4 @@
-use crate::{VertexId, Weight};
+use crate::{GraphError, VertexId, Weight};
 
 /// A weighted directed graph in compressed-sparse-row form.
 ///
@@ -37,32 +37,45 @@ impl CsrGraph {
     /// # Panics
     ///
     /// Panics if any endpoint is `>= num_vertices` or if the number of
-    /// edges overflows `u32` (CRONO's largest inputs have ~42 M directed
-    /// edges, well within range).
+    /// edges overflows `u32`. Production paths (readers, generators, the
+    /// CLI) go through [`Self::try_from_edges`]; this constructor exists
+    /// for tests and literal fixtures where a panic is the right report.
     pub fn from_edges(
         num_vertices: usize,
-        mut edges: Vec<(VertexId, VertexId, Weight)>,
+        edges: Vec<(VertexId, VertexId, Weight)>,
     ) -> CsrGraph {
-        assert!(
-            u32::try_from(edges.len()).is_ok(),
-            "edge count {} exceeds u32 capacity",
-            edges.len()
-        );
+        match CsrGraph::try_from_edges(num_vertices, edges) {
+            Ok(g) => g,
+            Err(GraphError::VertexOutOfRange { .. }) => panic!("edge endpoint out of range"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::from_edges`]: returns
+    /// [`GraphError::TooManyEdges`] when the directed edge count overflows
+    /// the `u32` offsets and [`GraphError::VertexOutOfRange`] on a bad
+    /// endpoint, instead of panicking.
+    pub fn try_from_edges(
+        num_vertices: usize,
+        mut edges: Vec<(VertexId, VertexId, Weight)>,
+    ) -> Result<CsrGraph, GraphError> {
+        if u32::try_from(edges.len()).is_err() {
+            return Err(GraphError::TooManyEdges {
+                edges: edges.len() as u64,
+            });
+        }
         // Weight participates in the sort so parallel edges have a
         // canonical order (transpose round-trips exactly).
         edges.sort_unstable();
-        if let Some(&(s, d, _)) = edges.last() {
-            assert!(
-                (s as usize) < num_vertices && (d as usize) < num_vertices,
-                "edge endpoint out of range"
-            );
-        }
         let mut offsets = vec![0u32; num_vertices + 1];
         for &(s, d, _) in &edges {
-            assert!(
-                (s as usize) < num_vertices && (d as usize) < num_vertices,
-                "edge endpoint out of range"
-            );
+            let far = s.max(d);
+            if far as usize >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: far as u64,
+                    num_vertices,
+                });
+            }
             offsets[s as usize + 1] += 1;
         }
         for i in 0..num_vertices {
@@ -74,6 +87,24 @@ impl CsrGraph {
             neighbors.push(d);
             weights.push(w);
         }
+        Ok(CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+        })
+    }
+
+    /// Assembles a CSR graph directly from its three arrays. Used by the
+    /// out-of-core packers, which produce the arrays incrementally from an
+    /// already-sorted edge stream.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> CsrGraph {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        debug_assert_eq!(neighbors.len(), weights.len());
         CsrGraph {
             offsets,
             neighbors,
@@ -155,6 +186,98 @@ impl CsrGraph {
             .map(|v| self.degree(v))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Incremental builder producing a flat [`CsrGraph`] from a
+/// `(src, dst, weight)` stream sorted by `(src, dst)` — the plain-CSR
+/// counterpart of [`crate::CompressedPacker`], used by the out-of-core
+/// shard pipeline in [`crate::stream`].
+#[derive(Debug)]
+pub struct CsrPacker {
+    num_vertices: usize,
+    offsets: Vec<u32>,
+    neighbors: Vec<VertexId>,
+    weights: Vec<Weight>,
+    cur_src: VertexId,
+    last_dst: Option<VertexId>,
+}
+
+impl CsrPacker {
+    /// Creates a packer for a graph over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> CsrPacker {
+        CsrPacker {
+            num_vertices,
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            weights: Vec::new(),
+            cur_src: 0,
+            last_dst: None,
+        }
+    }
+
+    /// Appends one edge. Sources must be non-decreasing and, within a
+    /// source, destinations non-decreasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] for a bad endpoint,
+    /// [`GraphError::InvalidSize`] for a sort-order violation, and
+    /// [`GraphError::TooManyEdges`] when the edge count overflows the
+    /// `u32` offsets.
+    pub fn push_edge(&mut self, src: VertexId, dst: VertexId, w: Weight) -> Result<(), GraphError> {
+        let far = src.max(dst);
+        if far as usize >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: far as u64,
+                num_vertices: self.num_vertices,
+            });
+        }
+        if src < self.cur_src {
+            return Err(GraphError::InvalidSize(format!(
+                "edge stream not sorted: source {src} after {}",
+                self.cur_src
+            )));
+        }
+        if self.neighbors.len() >= u32::MAX as usize {
+            return Err(GraphError::TooManyEdges {
+                edges: self.neighbors.len() as u64 + 1,
+            });
+        }
+        if src > self.cur_src {
+            for _ in self.cur_src..src {
+                self.offsets.push(self.neighbors.len() as u32);
+            }
+            self.cur_src = src;
+            self.last_dst = None;
+        } else if let Some(prev) = self.last_dst {
+            if dst < prev {
+                return Err(GraphError::InvalidSize(format!(
+                    "edge stream not sorted: destination {dst} after {prev} at source {src}"
+                )));
+            }
+        }
+        self.last_dst = Some(dst);
+        self.neighbors.push(dst);
+        self.weights.push(w);
+        Ok(())
+    }
+
+    /// Finalizes the CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (capacity is checked on push); returns
+    /// `Result` to share the [`crate::AdjacencyPacker`] signature.
+    pub fn finish(mut self) -> Result<CsrGraph, GraphError> {
+        while self.offsets.len() < self.num_vertices + 1 {
+            self.offsets.push(self.neighbors.len() as u32);
+        }
+        Ok(CsrGraph::from_raw_parts(
+            self.offsets,
+            self.neighbors,
+            self.weights,
+        ))
     }
 }
 
@@ -246,5 +369,56 @@ mod tests {
     #[test]
     fn total_weight_sums_all_edges() {
         assert_eq!(diamond().total_weight(), 10);
+    }
+
+    #[test]
+    fn packer_matches_from_edges() {
+        let edges = vec![(0, 1, 1), (0, 2, 2), (1, 3, 3), (2, 3, 4)];
+        let mut p = CsrPacker::new(4);
+        for &(s, d, w) in &edges {
+            p.push_edge(s, d, w).unwrap();
+        }
+        assert_eq!(p.finish().unwrap(), CsrGraph::from_edges(4, edges));
+    }
+
+    #[test]
+    fn packer_fills_trailing_isolated_vertices() {
+        let mut p = CsrPacker::new(6);
+        p.push_edge(1, 2, 7).unwrap();
+        let g = p.finish().unwrap();
+        assert_eq!(g.offset_slice(), &[0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn packer_rejects_unsorted_stream() {
+        let mut p = CsrPacker::new(4);
+        p.push_edge(2, 0, 1).unwrap();
+        assert!(p.push_edge(1, 0, 1).is_err());
+        assert!(p.push_edge(2, 3, 1).is_ok());
+        let mut q = CsrPacker::new(4);
+        q.push_edge(0, 3, 1).unwrap();
+        assert!(q.push_edge(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn try_from_edges_reports_bad_endpoint() {
+        let err = CsrGraph::try_from_edges(2, vec![(0, 5, 1)]).unwrap_err();
+        match err {
+            crate::GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                assert_eq!(vertex, 5);
+                assert_eq!(num_vertices, 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn try_from_edges_matches_panicking_constructor() {
+        let edges = vec![(0, 1, 1), (0, 2, 2), (1, 3, 3), (2, 3, 4)];
+        let g = CsrGraph::try_from_edges(4, edges.clone()).unwrap();
+        assert_eq!(g, CsrGraph::from_edges(4, edges));
     }
 }

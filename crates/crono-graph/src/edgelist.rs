@@ -105,6 +105,18 @@ impl EdgeList {
         crate::CsrGraph::from_edges(self.num_vertices, self.edges)
     }
 
+    /// Fallible conversion into a CSR graph; the production path for
+    /// parser- and CLI-sourced edge lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyEdges`] when the directed edge count
+    /// overflows the CSR's `u32` offsets. (Endpoints were validated on
+    /// `push`, so `VertexOutOfRange` cannot occur here.)
+    pub fn try_into_csr(self) -> Result<crate::CsrGraph, GraphError> {
+        crate::CsrGraph::try_from_edges(self.num_vertices, self.edges)
+    }
+
     fn check(&self, v: VertexId) -> Result<(), GraphError> {
         if (v as usize) < self.num_vertices {
             Ok(())

@@ -22,6 +22,11 @@ pub enum GraphError {
     Io(std::io::Error),
     /// A requested graph size was invalid (e.g. zero vertices).
     InvalidSize(String),
+    /// The directed edge count exceeds what a `u32`-offset CSR can index.
+    TooManyEdges {
+        /// The number of directed edges requested.
+        edges: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -39,6 +44,11 @@ impl fmt::Display for GraphError {
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::InvalidSize(msg) => write!(f, "invalid graph size: {msg}"),
+            GraphError::TooManyEdges { edges } => write!(
+                f,
+                "edge count {edges} exceeds u32 offset capacity ({})",
+                u32::MAX
+            ),
         }
     }
 }
@@ -70,6 +80,16 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("vertex 10"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn too_many_edges_displays_count() {
+        let e = GraphError::TooManyEdges {
+            edges: 5_000_000_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5000000000"));
         assert!(s.starts_with(char::is_lowercase));
     }
 

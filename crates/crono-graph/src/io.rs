@@ -70,7 +70,7 @@ pub fn read_edge_list<R: Read>(reader: R, undirected: bool) -> Result<CsrGraph, 
         }
     }
     let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
-    Ok(CsrGraph::from_edges(n, edges))
+    CsrGraph::try_from_edges(n, edges)
 }
 
 /// Writes a graph as a plain directed edge list (`src dst weight` lines).
@@ -173,7 +173,7 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             message: format!("problem line declared {m} arcs but file has {}", el.len()),
         });
     }
-    Ok(el.into_csr())
+    el.try_into_csr()
 }
 
 /// Writes a graph in DIMACS `.gr` format.
@@ -317,7 +317,85 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             ),
         });
     }
-    Ok(el.into_csr())
+    el.try_into_csr()
+}
+
+/// Streams an edge iterator to a writer as plain `src dst weight` lines
+/// in fixed-size chunks, never materializing the edge list — the
+/// emit-side counterpart of [`stream_edge_list`]. Returns the number of
+/// lines written.
+///
+/// `crono gen` uses this to write multi-hundred-million-edge graphs
+/// with only one chunk of formatted text resident.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_edge_stream<W, I>(edges: I, writer: W, chunk_lines: usize) -> std::io::Result<u64>
+where
+    W: Write,
+    I: IntoIterator<Item = (VertexId, VertexId, Weight)>,
+{
+    let mut writer = std::io::BufWriter::new(writer);
+    let chunk_lines = chunk_lines.max(1);
+    let mut text = String::new();
+    let mut pending = 0usize;
+    let mut written = 0u64;
+    for (s, d, w) in edges {
+        use std::fmt::Write as _;
+        let _ = writeln!(text, "{s} {d} {w}");
+        pending += 1;
+        written += 1;
+        if pending == chunk_lines {
+            writer.write_all(text.as_bytes())?;
+            text.clear();
+            pending = 0;
+        }
+    }
+    writer.write_all(text.as_bytes())?;
+    writer.flush()?;
+    Ok(written)
+}
+
+/// Streams a whitespace-separated edge list as an iterator of
+/// `(src, dst, weight)` triples, one buffered line at a time — the
+/// read-side counterpart of [`write_edge_stream`], shaped to feed
+/// [`crate::stream::build_sharded`] directly without collecting the
+/// file into memory first. Missing weights default to 1; `#` comments
+/// and blank lines are skipped.
+///
+/// Errors (I/O or parse, with line numbers) surface as `Err` items;
+/// the out-of-core builder's `Result` plumbing propagates them.
+pub fn stream_edge_list<R: Read>(
+    reader: R,
+) -> impl Iterator<Item = Result<(VertexId, VertexId, Weight), GraphError>> {
+    let reader = BufReader::new(reader);
+    reader
+        .lines()
+        .enumerate()
+        .filter_map(|(idx, line)| match line {
+            Err(e) => Some(Err(GraphError::Io(e))),
+            Ok(line) => {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    return None;
+                }
+                let parse = || -> Result<(VertexId, VertexId, Weight), GraphError> {
+                    let mut parts = line.split_whitespace();
+                    let src = parse_field(parts.next(), idx + 1, "source vertex")?;
+                    let dst = parse_field(parts.next(), idx + 1, "destination vertex")?;
+                    let w = match parts.next() {
+                        Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
+                            line: idx + 1,
+                            message: format!("invalid weight {tok:?}"),
+                        })?,
+                        None => 1,
+                    };
+                    Ok((src, dst, w))
+                };
+                Some(parse())
+            }
+        })
 }
 
 fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
@@ -447,6 +525,30 @@ mod tests {
         let err = read_matrix_market("1 1 0
 ".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn edge_stream_round_trips_with_reader() {
+        let s = crate::stream::UniformStream::new(32, 200, 8, 3).unwrap();
+        let mut buf = Vec::new();
+        let written = write_edge_stream(s.edges(), &mut buf, 7).unwrap();
+        assert_eq!(written as usize, s.edges().count());
+        let back: Vec<_> = stream_edge_list(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back, s.edges().collect::<Vec<_>>());
+        // Chunk size is a buffering detail, not a format change.
+        let mut buf2 = Vec::new();
+        write_edge_stream(s.edges(), &mut buf2, 1000).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn edge_stream_reader_reports_bad_lines() {
+        let items: Vec<_> = stream_edge_list("0 1 2\nbogus\n".as_bytes()).collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_ok());
+        assert!(matches!(items[1], Err(GraphError::Parse { line: 2, .. })));
     }
 
     #[test]

@@ -33,21 +33,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compressed;
 mod csr;
 mod edgelist;
 mod error;
 mod matrix;
+mod view;
 
 pub mod dsu;
 pub mod gen;
 pub mod io;
 pub mod rng;
+pub mod shard;
 pub mod stats;
+pub mod stream;
 
-pub use csr::CsrGraph;
+pub use compressed::{CompressedCsr, CompressedPacker};
+pub use csr::{CsrGraph, CsrPacker, Neighbors};
 pub use edgelist::EdgeList;
 pub use error::GraphError;
 pub use matrix::AdjacencyMatrix;
+pub use view::{view_fingerprint, AdjacencyPacker, AdjacencyView, Packable};
 
 /// Vertex identifier. CRONO's largest evaluated graph has 4 M vertices, so
 /// `u32` is ample and keeps the CSR arrays (and the simulated cache

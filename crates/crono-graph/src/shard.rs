@@ -1,0 +1,366 @@
+//! Shard-aware edge partitioning: 1-D owner-by-source and 2-D
+//! checkerboard decompositions.
+//!
+//! The scale track splits a graph's directed edges across shards so the
+//! sharded kernel drivers in `crono-algos` can assign each shard to a
+//! task with an owner-computes update discipline:
+//!
+//! * **1-D (owner by source)** — vertices are grouped into `blocks`
+//!   blocks; shard *i* holds every edge whose source lies in block *i*.
+//!   A shard can reach destinations anywhere, so a scan of shard *i*
+//!   produces candidate updates for every block.
+//! * **2-D checkerboard** (Yoo et al., PAPERS.md) — shard *(i, j)* holds
+//!   edges with source in block *i* and destination in block *j*
+//!   (`blocks²` shards). Scans of row *i* only ever produce candidates
+//!   for block *j*, bounding communication per shard — the decomposition
+//!   that scaled BFS to 32 K BlueGene nodes.
+//!
+//! Vertex→block placement is normally contiguous ([`Placement::Block`]),
+//! which keeps each block's state in adjacent cache lines. The
+//! [`Placement::Hashed`] alternative scatters vertices pseudo-randomly —
+//! deliberately locality-hostile, used by the sim-backend comparison to
+//! show why locality-aware sharding cuts `dir_broadcast`/`noc_flits`.
+
+use crate::view::{AdjacencyPacker, Packable};
+use crate::{AdjacencyView, CsrGraph, GraphError, VertexId};
+
+/// Salt for hashed placement so it never degenerates to identity.
+const HASH_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// How vertices map to blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Contiguous ranges of vertex ids (locality-aware; the default).
+    Block,
+    /// Pseudo-random scatter by a splitmix64 hash (locality-hostile;
+    /// the sim comparison baseline).
+    Hashed,
+}
+
+/// A vertex-block / edge-shard decomposition of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    num_vertices: usize,
+    blocks: usize,
+    two_d: bool,
+    placement: Placement,
+}
+
+impl Partition {
+    /// 1-D owner-by-source partition into `blocks` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn one_d(num_vertices: usize, blocks: usize) -> Partition {
+        assert!(blocks > 0, "partition needs at least one block");
+        Partition {
+            num_vertices,
+            blocks,
+            two_d: false,
+            placement: Placement::Block,
+        }
+    }
+
+    /// 2-D checkerboard partition into `blocks × blocks` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn two_d(num_vertices: usize, blocks: usize) -> Partition {
+        assert!(blocks > 0, "partition needs at least one block");
+        Partition {
+            num_vertices,
+            blocks,
+            two_d: true,
+            placement: Placement::Block,
+        }
+    }
+
+    /// Replaces the vertex placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> Partition {
+        self.placement = placement;
+        self
+    }
+
+    /// Number of vertices the partition ranges over.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of vertex blocks per dimension.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Whether this is the 2-D checkerboard decomposition.
+    pub fn is_two_d(&self) -> bool {
+        self.two_d
+    }
+
+    /// The vertex placement policy.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Total number of edge shards (`blocks` for 1-D, `blocks²` for 2-D).
+    pub fn num_shards(&self) -> usize {
+        if self.two_d {
+            self.blocks * self.blocks
+        } else {
+            self.blocks
+        }
+    }
+
+    /// The block owning vertex `v`.
+    pub fn block_of(&self, v: VertexId) -> usize {
+        match self.placement {
+            Placement::Block => {
+                let per = self.num_vertices.div_ceil(self.blocks).max(1);
+                (v as usize / per).min(self.blocks - 1)
+            }
+            Placement::Hashed => {
+                let mut state = (v as u64) ^ HASH_SALT;
+                (crate::rng::splitmix64(&mut state) % self.blocks as u64) as usize
+            }
+        }
+    }
+
+    /// The shard owning edge `src -> dst`.
+    pub fn shard_of_edge(&self, src: VertexId, dst: VertexId) -> usize {
+        if self.two_d {
+            self.block_of(src) * self.blocks + self.block_of(dst)
+        } else {
+            self.block_of(src)
+        }
+    }
+
+    /// The source block scanned by shard `k` (row index for 2-D).
+    pub fn shard_src_block(&self, shard: usize) -> usize {
+        if self.two_d {
+            shard / self.blocks
+        } else {
+            shard
+        }
+    }
+
+    /// The destination block shard `k` can reach, or `None` for 1-D
+    /// shards (which reach every block).
+    pub fn shard_dst_block(&self, shard: usize) -> Option<usize> {
+        if self.two_d {
+            Some(shard % self.blocks)
+        } else {
+            None
+        }
+    }
+
+    /// All vertices placed in `block`, ascending. O(num_vertices) for
+    /// hashed placement; call once per block at driver setup.
+    pub fn block_members(&self, block: usize) -> Vec<VertexId> {
+        match self.placement {
+            Placement::Block => {
+                let per = self.num_vertices.div_ceil(self.blocks).max(1);
+                let lo = (block * per).min(self.num_vertices);
+                let hi = if block + 1 == self.blocks {
+                    self.num_vertices
+                } else {
+                    ((block + 1) * per).min(self.num_vertices)
+                };
+                (lo as VertexId..hi as VertexId).collect()
+            }
+            Placement::Hashed => (0..self.num_vertices as VertexId)
+                .filter(|&v| self.block_of(v) == block)
+                .collect(),
+        }
+    }
+}
+
+/// A graph decomposed into per-shard adjacency structures.
+///
+/// Every shard spans the *global* vertex id space (each holds its own
+/// `num_vertices + 1` offset array — accepted overhead, documented in
+/// DESIGN.md, negligible next to adjacency at the scale track's edge
+/// factors), so kernels never translate vertex ids.
+#[derive(Debug, Clone)]
+pub struct ShardedGraph<G> {
+    partition: Partition,
+    shards: Vec<G>,
+}
+
+impl<G: AdjacencyView> ShardedGraph<G> {
+    /// Assembles from an already-packed shard vector; used by the
+    /// out-of-core builder.
+    pub(crate) fn from_parts(partition: Partition, shards: Vec<G>) -> ShardedGraph<G> {
+        debug_assert_eq!(shards.len(), partition.num_shards());
+        ShardedGraph { partition, shards }
+    }
+
+    /// The partition this graph was decomposed with.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// All shards, indexed by shard id.
+    pub fn shards(&self) -> &[G] {
+        &self.shards
+    }
+
+    /// Shard `k`'s adjacency structure.
+    pub fn shard(&self, k: usize) -> &G {
+        &self.shards[k]
+    }
+
+    /// Number of vertices (global id space).
+    pub fn num_vertices(&self) -> usize {
+        self.partition.num_vertices()
+    }
+
+    /// Total directed edges across all shards.
+    pub fn num_directed_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.num_directed_edges()).sum()
+    }
+
+    /// Total adjacency bytes across all shards.
+    pub fn adjacency_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.adjacency_bytes()).sum()
+    }
+
+    /// Adjacency bytes per directed edge across the whole decomposition.
+    pub fn bytes_per_edge(&self) -> f64 {
+        let m = self.num_directed_edges();
+        if m == 0 {
+            0.0
+        } else {
+            self.adjacency_bytes() as f64 / m as f64
+        }
+    }
+}
+
+impl<G: Packable> ShardedGraph<G> {
+    /// Decomposes an in-memory CSR graph under `partition`.
+    ///
+    /// The CSR's canonical edge order is preserved within every shard
+    /// (a per-shard subsequence of a sorted stream stays sorted), so no
+    /// re-sort is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if the partition's vertex
+    /// count disagrees with the graph's, or any packer error.
+    pub fn from_csr(g: &CsrGraph, partition: Partition) -> Result<ShardedGraph<G>, GraphError> {
+        if partition.num_vertices() != g.num_vertices() {
+            return Err(GraphError::InvalidSize(format!(
+                "partition over {} vertices given a graph with {}",
+                partition.num_vertices(),
+                g.num_vertices()
+            )));
+        }
+        let mut packers: Vec<G::Packer> = (0..partition.num_shards())
+            .map(|_| G::Packer::new(g.num_vertices()))
+            .collect();
+        for v in 0..g.num_vertices() as VertexId {
+            for (n, w) in g.neighbors(v) {
+                packers[partition.shard_of_edge(v, n)].push_edge(v, n, w)?;
+            }
+        }
+        let shards = packers
+            .into_iter()
+            .map(|p| p.finish())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedGraph { partition, shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompressedCsr;
+
+    fn sample() -> CsrGraph {
+        crate::gen::uniform_random(64, 256, 8, 42)
+    }
+
+    #[test]
+    fn one_d_blocks_cover_all_vertices() {
+        let p = Partition::one_d(10, 3);
+        assert_eq!(p.num_shards(), 3);
+        let mut seen = vec![];
+        for b in 0..3 {
+            seen.extend(p.block_members(b));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        for v in 0..10 {
+            assert!(p.block_members(p.block_of(v)).contains(&v));
+        }
+    }
+
+    #[test]
+    fn hashed_blocks_cover_all_vertices() {
+        let p = Partition::one_d(100, 4).with_placement(Placement::Hashed);
+        let mut seen = vec![];
+        for b in 0..4 {
+            for v in p.block_members(b) {
+                assert_eq!(p.block_of(v), b);
+                seen.push(v);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 100);
+        // The scatter must actually scatter: block 0 is not 0..25.
+        assert_ne!(p.block_members(0), (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_d_shard_indexing() {
+        let p = Partition::two_d(16, 2);
+        assert_eq!(p.num_shards(), 4);
+        assert_eq!(p.shard_of_edge(0, 15), 1); // row 0, col 1
+        assert_eq!(p.shard_src_block(3), 1);
+        assert_eq!(p.shard_dst_block(3), Some(1));
+        assert_eq!(Partition::one_d(16, 2).shard_dst_block(1), None);
+    }
+
+    #[test]
+    fn sharded_union_equals_whole_graph() {
+        let g = sample();
+        for partition in [
+            Partition::one_d(64, 4),
+            Partition::two_d(64, 3),
+            Partition::one_d(64, 4).with_placement(Placement::Hashed),
+        ] {
+            let sharded = ShardedGraph::<CsrGraph>::from_csr(&g, partition).unwrap();
+            assert_eq!(sharded.num_directed_edges(), g.num_directed_edges());
+            // Re-merge every shard's edges: must reproduce the graph.
+            let mut edges = vec![];
+            for shard in sharded.shards() {
+                for v in 0..shard.num_vertices() as VertexId {
+                    for (n, w) in shard.neighbors(v) {
+                        edges.push((v, n, w));
+                    }
+                }
+            }
+            let merged = CsrGraph::from_edges(64, edges);
+            assert_eq!(merged, g);
+        }
+    }
+
+    #[test]
+    fn compressed_shards_match_plain_shards() {
+        let g = sample();
+        let p = Partition::one_d(64, 4);
+        let plain = ShardedGraph::<CsrGraph>::from_csr(&g, p).unwrap();
+        let packed = ShardedGraph::<CompressedCsr>::from_csr(&g, p).unwrap();
+        for (a, b) in plain.shards().iter().zip(packed.shards()) {
+            assert_eq!(&b.to_csr(), a);
+        }
+        assert!(packed.adjacency_bytes() < plain.adjacency_bytes());
+    }
+
+    #[test]
+    fn mismatched_partition_is_rejected() {
+        let g = sample();
+        let p = Partition::one_d(63, 4);
+        assert!(ShardedGraph::<CsrGraph>::from_csr(&g, p).is_err());
+    }
+}

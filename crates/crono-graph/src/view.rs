@@ -1,0 +1,210 @@
+//! A representation-neutral read view over adjacency structure.
+//!
+//! The scale track stores graphs two ways: the flat [`CsrGraph`] (fast
+//! random access, 8+ bytes per directed edge) and the varint/delta
+//! [`crate::CompressedCsr`] (sequential decode, ~3 bytes per edge). Kernels
+//! that only ever *sweep* adjacency lists — BFS, SSSP relaxation, pull
+//! PageRank — are written once against this trait and run on either
+//! representation unchanged.
+
+use crate::{CsrGraph, GraphError, VertexId, Weight};
+
+/// Read-only view of a directed graph's adjacency lists.
+///
+/// Implementors guarantee that for each vertex the `(neighbor, weight)`
+/// pairs come back in the same canonical order as [`CsrGraph`] stores
+/// them: ascending by `(dst, weight)`. That invariant is what makes
+/// floating-point kernels (pull PageRank) bit-identical across
+/// representations.
+pub trait AdjacencyView {
+    /// Iterator over one vertex's `(neighbor, weight)` pairs.
+    type Neighbors<'a>: Iterator<Item = (VertexId, Weight)>
+    where
+        Self: 'a;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges stored.
+    fn num_directed_edges(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Iterates `(neighbor, weight)` pairs of `v` in canonical
+    /// ascending order.
+    fn neighbors_of(&self, v: VertexId) -> Self::Neighbors<'_>;
+
+    /// Resident bytes of the adjacency structure (offsets + neighbor
+    /// data + weights), the numerator of the bytes-per-edge metric.
+    fn adjacency_bytes(&self) -> u64;
+
+    /// Adjacency bytes divided by directed edge count (0.0 for an
+    /// edgeless graph).
+    fn bytes_per_edge(&self) -> f64 {
+        let m = self.num_directed_edges();
+        if m == 0 {
+            0.0
+        } else {
+            self.adjacency_bytes() as f64 / m as f64
+        }
+    }
+}
+
+impl AdjacencyView for CsrGraph {
+    type Neighbors<'a> = crate::csr::Neighbors<'a>;
+
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    fn num_directed_edges(&self) -> usize {
+        CsrGraph::num_directed_edges(self)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    fn neighbors_of(&self, v: VertexId) -> Self::Neighbors<'_> {
+        self.neighbors(v)
+    }
+
+    fn adjacency_bytes(&self) -> u64 {
+        // u32 offsets (n + 1) + u32 neighbor + u32 weight per edge.
+        4 * (self.offset_slice().len() as u64
+            + self.neighbor_slice().len() as u64
+            + self.weight_slice().len() as u64)
+    }
+}
+
+/// Incremental construction of an adjacency representation from an edge
+/// stream sorted by `(src, dst, weight)` — the order the out-of-core
+/// merge in [`crate::stream`] produces.
+pub trait AdjacencyPacker: Sized {
+    /// The representation this packer produces.
+    type Graph: AdjacencyView;
+
+    /// Creates a packer for a graph over `num_vertices` vertices.
+    fn new(num_vertices: usize) -> Self;
+
+    /// Appends one edge; the stream must be sorted by `(src, dst)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] on a bad endpoint, a sort-order
+    /// violation, or representation capacity overflow.
+    fn push_edge(&mut self, src: VertexId, dst: VertexId, w: Weight) -> Result<(), GraphError>;
+
+    /// Finalizes the representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the accumulated graph exceeds the
+    /// representation's capacity.
+    fn finish(self) -> Result<Self::Graph, GraphError>;
+}
+
+/// Links a representation to its streaming packer so generic builders
+/// (the sharded out-of-core pipeline) can be written once over `G`.
+pub trait Packable: AdjacencyView + Sized {
+    /// The packer that produces this representation.
+    type Packer: AdjacencyPacker<Graph = Self>;
+}
+
+impl AdjacencyPacker for crate::csr::CsrPacker {
+    type Graph = CsrGraph;
+
+    fn new(num_vertices: usize) -> Self {
+        crate::csr::CsrPacker::new(num_vertices)
+    }
+
+    fn push_edge(&mut self, src: VertexId, dst: VertexId, w: Weight) -> Result<(), GraphError> {
+        crate::csr::CsrPacker::push_edge(self, src, dst, w)
+    }
+
+    fn finish(self) -> Result<CsrGraph, GraphError> {
+        crate::csr::CsrPacker::finish(self)
+    }
+}
+
+impl Packable for CsrGraph {
+    type Packer = crate::csr::CsrPacker;
+}
+
+impl AdjacencyPacker for crate::CompressedPacker {
+    type Graph = crate::CompressedCsr;
+
+    fn new(num_vertices: usize) -> Self {
+        crate::CompressedPacker::new(num_vertices)
+    }
+
+    fn push_edge(&mut self, src: VertexId, dst: VertexId, w: Weight) -> Result<(), GraphError> {
+        crate::CompressedPacker::push_edge(self, src, dst, w)
+    }
+
+    fn finish(self) -> Result<crate::CompressedCsr, GraphError> {
+        crate::CompressedPacker::finish(self)
+    }
+}
+
+impl Packable for crate::CompressedCsr {
+    type Packer = crate::CompressedPacker;
+}
+
+/// FNV-1a fingerprint of a view's full directed edge set, matching the
+/// golden constants in `tests/determinism.rs`: every `(src, dst, weight)`
+/// triple hashed as three little-endian `u64`s in canonical CSR order.
+///
+/// Two views of the same graph fingerprint identically regardless of
+/// representation, which is how the equivalence tests compare
+/// [`crate::CompressedCsr`] against [`CsrGraph`].
+pub fn view_fingerprint<V: AdjacencyView>(view: &V) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = FNV_OFFSET;
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for v in 0..view.num_vertices() as VertexId {
+        for (n, w) in view.neighbors_of(v) {
+            mix(v as u64);
+            mix(n as u64);
+            mix(w as u64);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_view_matches_direct_accessors() {
+        let g = CsrGraph::from_edges(4, vec![(0, 1, 5), (0, 2, 3), (2, 3, 1)]);
+        assert_eq!(AdjacencyView::num_vertices(&g), 4);
+        assert_eq!(AdjacencyView::num_directed_edges(&g), 3);
+        assert_eq!(AdjacencyView::degree(&g, 0), 2);
+        let ns: Vec<_> = g.neighbors_of(0).collect();
+        assert_eq!(ns, vec![(1, 5), (2, 3)]);
+    }
+
+    #[test]
+    fn csr_bytes_per_edge_counts_offsets_and_payload() {
+        let g = CsrGraph::from_edges(4, vec![(0, 1, 5), (0, 2, 3), (2, 3, 1)]);
+        // 5 offsets * 4 + 3 neighbors * 4 + 3 weights * 4 = 44 bytes.
+        assert_eq!(g.adjacency_bytes(), 44);
+        assert!((g.bytes_per_edge() - 44.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_edges() {
+        let a = CsrGraph::from_edges(3, vec![(0, 1, 1)]);
+        let b = CsrGraph::from_edges(3, vec![(0, 2, 1)]);
+        assert_ne!(view_fingerprint(&a), view_fingerprint(&b));
+    }
+}

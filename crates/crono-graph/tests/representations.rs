@@ -1,0 +1,84 @@
+//! Representation-equivalence tests: [`CompressedCsr`] must be a
+//! lossless, order-preserving re-encoding of [`CsrGraph`] on every
+//! synthetic generator the suite ships.
+//!
+//! The fingerprint is the same FNV-1a over `(src, dst, weight)` triples
+//! pinned by the golden snapshots in `determinism.rs`, computed through
+//! the [`AdjacencyView`] trait so both representations walk the exact
+//! code path the scale kernels use.
+
+use crono_graph::gen::{
+    preferential_attachment, rmat, road_network, tsp_cities, uniform_random, RmatParams,
+};
+use crono_graph::{view_fingerprint, AdjacencyView, CompressedCsr, CsrGraph, VertexId};
+
+/// The five generator configurations from `determinism.rs`, with the
+/// TSP instance expanded into its complete distance graph.
+fn generator_zoo() -> Vec<(&'static str, CsrGraph)> {
+    let tsp = tsp_cities(12, 42);
+    let mut tsp_edges = Vec::new();
+    for a in 0..tsp.num_cities() {
+        for b in 0..tsp.num_cities() {
+            if a != b {
+                tsp_edges.push((a as VertexId, b as VertexId, tsp.distance(a, b)));
+            }
+        }
+    }
+    vec![
+        ("uniform", uniform_random(64, 256, 8, 42)),
+        ("road", road_network(12, 12, 8, 0.2, 0.05, 42)),
+        ("rmat", rmat(7, 256, 8, RmatParams::default(), 42)),
+        ("preferential", preferential_attachment(100, 3, 8, 42)),
+        (
+            "tsp_complete",
+            CsrGraph::from_edges(tsp.num_cities(), tsp_edges),
+        ),
+    ]
+}
+
+#[test]
+fn compressed_fingerprints_match_plain_on_every_generator() {
+    for (name, plain) in generator_zoo() {
+        let packed = CompressedCsr::from_csr(&plain);
+        assert_eq!(
+            view_fingerprint(&packed),
+            view_fingerprint(&plain),
+            "{name}: fingerprint mismatch between representations"
+        );
+        assert_eq!(packed.num_vertices(), AdjacencyView::num_vertices(&plain));
+        assert_eq!(
+            packed.num_directed_edges(),
+            AdjacencyView::num_directed_edges(&plain),
+            "{name}: edge count mismatch"
+        );
+        for v in 0..plain.num_vertices() as VertexId {
+            assert_eq!(
+                packed.degree(v),
+                plain.degree(v),
+                "{name}: degree mismatch at {v}"
+            );
+        }
+        assert_eq!(packed.to_csr(), plain, "{name}: round-trip mismatch");
+    }
+}
+
+#[test]
+fn compressed_saves_at_least_30_percent_on_sparse_generators() {
+    for (name, plain) in generator_zoo() {
+        if name == "tsp_complete" {
+            // A 12-city complete graph is dense and tiny; the compression
+            // target is about the sparse benchmark inputs.
+            continue;
+        }
+        let packed = CompressedCsr::from_csr(&plain);
+        let saved = 1.0 - packed.bytes_per_edge() / plain.bytes_per_edge();
+        assert!(
+            saved >= 0.30,
+            "{name}: expected >=30% fewer bytes/edge, saved {:.1}% \
+             (packed {:.2} vs plain {:.2})",
+            saved * 100.0,
+            packed.bytes_per_edge(),
+            plain.bytes_per_edge()
+        );
+    }
+}

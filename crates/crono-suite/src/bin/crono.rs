@@ -5,6 +5,7 @@ use crono_energy::EnergyModel;
 use crono_sim::SimConfig;
 use crono_suite::checkpoint::Checkpoint;
 use crono_suite::experiments::faults::FaultsConfig;
+use crono_suite::experiments::scale_track::{self, GraphKind, ScaleTrackConfig};
 use crono_suite::experiments::{
     ablation, faults, fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables,
 };
@@ -34,6 +35,12 @@ USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
        crono bombard [--queries N] [--clients N] [--seed N]
              [--scale test|small|paper] [--threads N] [--timeout-ms N]
              [--out DIR] [--quiet]
+       crono scale [--graph rmat|uniform] [--graph-scale N] [--degree N]
+             [--shards N] [--partition 1d|2d] [--repr compressed|plain]
+             [--mirror] [--threads N] [--seed N] [--sort-buffer EDGES]
+             [--spill DIR] [--iters N] [--out DIR] [--resume] [--quiet]
+       crono gen [--graph rmat|uniform] [--graph-scale N] [--degree N]
+             [--seed N] [--mirror] [--chunk N] [--out FILE] [--quiet]
 
 COMMANDS:
   table1   Benchmarks and parallelizations
@@ -68,6 +75,13 @@ COMMANDS:
            per line: `<bfs|sssp|pagerank|centrality> <vertex>
            [deadline=N]`) against the scale's graph and report per-kind
            p50/p99 modeled latency + QPS (serve.tsv with --out)
+  scale    Scale track: seeded streaming graph build into shards with
+           an external sort (bounded RAM, spills to --spill), then
+           shard-aware BFS/SSSP/PageRank with per-shard modeled MTEPS
+           and simulator placement rows (block vs hashed) -> scale.tsv;
+           --resume replays finished row groups from the checkpoint
+  gen      Stream a seeded synthetic edge list to --out in chunks (the
+           same text format crono's readers and the scale build accept)
   bombard  Seeded closed-loop load generator against the same engine:
            mixed BFS/SSSP/PageRank stream with a hot set; repeated runs
            with one seed are byte-identical (latency is modeled, not
@@ -606,6 +620,226 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
     })
 }
 
+/// Options shared by `crono scale` and `crono gen`.
+struct ScaleOptions {
+    config: ScaleTrackConfig,
+    chunk: usize,
+    out: Option<PathBuf>,
+    resume: bool,
+    progress: bool,
+}
+
+fn parse_scale_args(mut args: impl Iterator<Item = String>) -> Result<ScaleOptions, String> {
+    let mut config = ScaleTrackConfig::default();
+    let mut chunk = 1 << 16;
+    let mut out = None;
+    let mut spill = None;
+    let mut resume = false;
+    let mut progress = true;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--graph" => {
+                let name = args.next().ok_or("--graph needs a value")?;
+                config.graph = GraphKind::by_name(&name)
+                    .ok_or_else(|| format!("unknown graph {name:?} (rmat|uniform)"))?;
+            }
+            "--graph-scale" => {
+                let v = args.next().ok_or("--graph-scale needs a value")?;
+                config.graph_scale = v
+                    .parse()
+                    .ok()
+                    .filter(|&s: &u32| (1..=31).contains(&s))
+                    .ok_or_else(|| format!("invalid graph scale {v:?} (1..=31)"))?;
+            }
+            "--degree" => {
+                let v = args.next().ok_or("--degree needs a value")?;
+                config.degree = v
+                    .parse()
+                    .ok()
+                    .filter(|&d: &u64| d > 0)
+                    .ok_or_else(|| format!("invalid degree {v:?}"))?;
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                config.blocks = v
+                    .parse()
+                    .ok()
+                    .filter(|&b: &usize| b > 0)
+                    .ok_or_else(|| format!("invalid shard count {v:?}"))?;
+            }
+            "--partition" => {
+                let v = args.next().ok_or("--partition needs a value")?;
+                config.two_d = match v.as_str() {
+                    "1d" => false,
+                    "2d" => true,
+                    _ => return Err(format!("unknown partition {v:?} (1d|2d)")),
+                };
+            }
+            "--repr" => {
+                let v = args.next().ok_or("--repr needs a value")?;
+                config.compressed = match v.as_str() {
+                    "compressed" => true,
+                    "plain" => false,
+                    _ => return Err(format!("unknown representation {v:?} (compressed|plain)")),
+                };
+            }
+            "--mirror" => config.mirrored = true,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                config.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&t: &usize| t > 0)
+                    .ok_or_else(|| format!("invalid thread count {v:?}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                config.seed = v.parse().map_err(|_| format!("invalid seed {v:?}"))?;
+            }
+            "--sort-buffer" => {
+                let v = args.next().ok_or("--sort-buffer needs a value")?;
+                config.sort_buffer_edges = v
+                    .parse()
+                    .ok()
+                    .filter(|&e: &usize| e > 0)
+                    .ok_or_else(|| format!("invalid sort buffer {v:?} (edges)"))?;
+            }
+            "--spill" => spill = Some(PathBuf::from(args.next().ok_or("--spill needs a value")?)),
+            "--iters" => {
+                let v = args.next().ok_or("--iters needs a value")?;
+                config.pagerank_iters = v
+                    .parse()
+                    .ok()
+                    .filter(|&i: &usize| i > 0)
+                    .ok_or_else(|| format!("invalid iteration count {v:?}"))?;
+            }
+            "--chunk" => {
+                let v = args.next().ok_or("--chunk needs a value")?;
+                chunk = v
+                    .parse()
+                    .ok()
+                    .filter(|&c: &usize| c > 0)
+                    .ok_or_else(|| format!("invalid chunk size {v:?}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--resume" => resume = true,
+            "--quiet" => progress = false,
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if resume && out.is_none() {
+        return Err("--resume needs --out DIR (the checkpoint lives in the output directory)"
+            .to_string());
+    }
+    // Spill next to the output when no explicit directory was given, so
+    // a crashed run's leftovers are easy to find and remove.
+    config.spill_dir = spill.unwrap_or_else(|| match &out {
+        Some(dir) => dir.clone(),
+        None => std::env::temp_dir(),
+    });
+    Ok(ScaleOptions {
+        config,
+        chunk,
+        out,
+        resume,
+        progress,
+    })
+}
+
+fn scale_command(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_scale_args(args)?;
+    let mut ckpt = None;
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create output directory {}: {e}", dir.display()))?;
+        let path = dir.join("scale.resume.tsv");
+        let mut ck = Checkpoint::open(&path)
+            .map_err(|e| format!("open checkpoint {}: {e}", path.display()))?;
+        if !opts.resume {
+            ck.clear()
+                .map_err(|e| format!("reset checkpoint {}: {e}", path.display()))?;
+        } else if opts.progress && !ck.is_empty() {
+            eprintln!("[scale] resuming: {} row group(s) already done", ck.len());
+        }
+        ckpt = Some(ck);
+    }
+    let table = scale_track::generate(&opts.config, opts.progress, ckpt.as_mut())?;
+    println!("{}", table.render());
+    if let Some(dir) = &opts.out {
+        let path = dir.join(format!("{}.tsv", table.file_stem()));
+        std::fs::write(&path, table.to_tsv())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("[out] wrote {}", path.display());
+    }
+    if let Some(mut ck) = ckpt {
+        if let Err(e) = ck.clear() {
+            eprintln!(
+                "warning: could not remove finished checkpoint {}: {e}",
+                ck.path().display()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn gen_command(args: impl Iterator<Item = String>) -> Result<(), String> {
+    use crono_graph::io::write_edge_stream;
+    use crono_graph::stream::{mirror, RmatStream, UniformStream};
+
+    let opts = parse_scale_args(args)?;
+    if opts.resume {
+        return Err("--resume does not apply to `crono gen`".to_string());
+    }
+    let cfg = &opts.config;
+    let n = 1usize << cfg.graph_scale;
+    let draws = n as u64 * cfg.degree;
+    let write = |edges: &mut dyn Iterator<Item = (u32, u32, u32)>| -> Result<u64, String> {
+        match &opts.out {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?;
+                write_edge_stream(edges, file, opts.chunk)
+                    .map_err(|e| format!("write {}: {e}", path.display()))
+            }
+            None => write_edge_stream(edges, std::io::stdout().lock(), opts.chunk)
+                .map_err(|e| format!("write stdout: {e}")),
+        }
+    };
+    let lines = match cfg.graph {
+        GraphKind::Rmat => {
+            let stream = RmatStream::new(
+                cfg.graph_scale,
+                draws,
+                8,
+                crono_graph::gen::RmatParams::default(),
+                cfg.seed,
+            )
+            .map_err(|e| format!("invalid R-MAT stream: {e}"))?;
+            if cfg.mirrored {
+                write(&mut mirror(stream.edges()))?
+            } else {
+                write(&mut stream.edges())?
+            }
+        }
+        GraphKind::Uniform => {
+            let stream = UniformStream::new(n, draws, 8, cfg.seed)
+                .map_err(|e| format!("invalid uniform stream: {e}"))?;
+            if cfg.mirrored {
+                write(&mut mirror(stream.edges()))?
+            } else {
+                write(&mut stream.edges())?
+            }
+        }
+    };
+    if opts.progress {
+        match &opts.out {
+            Some(path) => eprintln!("[gen] wrote {lines} edge line(s) to {}", path.display()),
+            None => eprintln!("[gen] wrote {lines} edge line(s)"),
+        }
+    }
+    Ok(())
+}
+
 /// `crono serve` (replay = true requires --workload) and
 /// `crono bombard` (generated stream).
 fn serve_command(args: impl Iterator<Item = String>, replay: bool) -> Result<(), String> {
@@ -730,6 +964,26 @@ fn main() -> ExitCode {
     if raw.peek().map(String::as_str) == Some("faults") {
         raw.next();
         return match faults_command(raw) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.peek().map(String::as_str) == Some("scale") {
+        raw.next();
+        return match scale_command(raw) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if raw.peek().map(String::as_str) == Some("gen") {
+        raw.next();
+        return match gen_command(raw) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("{e}");

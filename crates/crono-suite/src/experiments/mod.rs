@@ -10,5 +10,6 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig78;
 pub mod fig9;
+pub mod scale_track;
 pub mod table4;
 pub mod tables;

@@ -465,3 +465,157 @@ fn fig3_runs_at_test_scale() {
     assert!(stdout.contains("Cold%"));
     assert!(stdout.contains("SSSP_DIJK"));
 }
+
+#[test]
+fn scale_is_byte_identical_across_processes() {
+    let dir = std::env::temp_dir().join(format!("crono-scale-cli-{}", std::process::id()));
+    let run = |sub: &str| {
+        let out_dir = dir.join(sub);
+        let out = crono()
+            .args([
+                "scale",
+                "--graph-scale",
+                "9",
+                "--degree",
+                "8",
+                "--shards",
+                "2",
+                "--threads",
+                "2",
+                "--quiet",
+                "--out",
+            ])
+            .arg(&out_dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(out_dir.join("scale.tsv")).expect("tsv written")
+    };
+    let a = run("a");
+    let b = run("b");
+    assert_eq!(a, b, "seeded scale runs must be byte-identical");
+    // Sim placement rows: block placement must beat hashed on flits.
+    let flits = |tag: &str| -> u64 {
+        a.lines()
+            .find(|l| l.starts_with("sim-bfs\t") && l.contains(tag))
+            .expect("sim row")
+            .split('\t')
+            .nth(9)
+            .expect("NocFlits column")
+            .parse()
+            .expect("numeric flits")
+    };
+    assert!(
+        flits("block") < flits("hashed"),
+        "block placement should move fewer NoC flits"
+    );
+    // The checkpoint is removed after a successful run.
+    assert!(!dir.join("a").join("scale.resume.tsv").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scale_resume_replays_planted_rows() {
+    let dir = std::env::temp_dir().join(format!("crono-scale-resume-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // Plant a bfs row group under the exact key `crono scale` derives
+    // for this configuration; --resume must emit it verbatim.
+    let label = "rmat-s9-d8-b2-1d-compressed-t2-seed42";
+    std::fs::write(
+        dir.join("scale.resume.tsv"),
+        format!("{label}|bfs\tbfs|{label}|0|-|424242|-|1.00|424.24|-|-\n"),
+    )
+    .expect("plant checkpoint");
+    let out = crono()
+        .args([
+            "scale",
+            "--graph-scale",
+            "9",
+            "--degree",
+            "8",
+            "--shards",
+            "2",
+            "--threads",
+            "2",
+            "--resume",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tsv = std::fs::read_to_string(dir.join("scale.tsv")).expect("tsv written");
+    assert!(
+        tsv.lines().any(|l| l.contains("424242")),
+        "planted bfs row not replayed: {tsv}"
+    );
+    assert!(!dir.join("scale.resume.tsv").exists(), "checkpoint kept after success");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scale_rejects_bad_arguments_cleanly() {
+    for bad in [
+        vec!["scale", "--graph", "mystery"],
+        vec!["scale", "--graph-scale", "0"],
+        vec!["scale", "--partition", "3d"],
+        vec!["scale", "--repr", "zip"],
+        vec!["scale", "--shards", "0"],
+        vec!["scale", "--resume"],
+    ] {
+        let out = crono().args(&bad).output().expect("binary runs");
+        assert_clean_failure(&out);
+    }
+}
+
+#[test]
+fn gen_streams_an_edge_list_the_scale_build_accepts() {
+    let dir = std::env::temp_dir().join(format!("crono-gen-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("edges.txt");
+    let out = crono()
+        .args(["gen", "--graph", "uniform", "--graph-scale", "8", "--degree", "4", "--quiet", "--out"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("edge list written");
+    let lines: Vec<&str> = text.lines().collect();
+    // Self-loop draws are skipped by the stream, so the line count is
+    // at most one per draw but never collapses.
+    assert!(
+        lines.len() <= 256 * 4 && lines.len() > 256 * 3,
+        "unexpected line count {}",
+        lines.len()
+    );
+    for line in &lines {
+        let cells: Vec<&str> = line.split_ascii_whitespace().collect();
+        assert_eq!(cells.len(), 3, "src dst weight: {line}");
+        cells.iter().for_each(|c| {
+            c.parse::<u32>().expect("numeric cell");
+        });
+    }
+    // Identical seeds stream identical bytes.
+    let path2 = dir.join("edges2.txt");
+    let out2 = crono()
+        .args(["gen", "--graph", "uniform", "--graph-scale", "8", "--degree", "4", "--quiet", "--out"])
+        .arg(&path2)
+        .output()
+        .expect("binary runs");
+    assert!(out2.status.success());
+    assert_eq!(text, std::fs::read_to_string(&path2).expect("second list"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -183,6 +183,43 @@ echo "==> bombard determinism gate"
 cmp "$trace_out/bombard-a/serve.tsv" "$trace_out/bombard-b/serve.tsv"
 echo "bombard determinism OK: two runs byte-identical"
 
+echo "==> scale-track smoke: streaming build + sharded kernels"
+# A small out-of-core build (sort buffer forced tiny so the external
+# sort actually spills) must produce a well-formed scale.tsv whose
+# compressed build row beats the flat-CSR reference on bytes/edge, and
+# whose simulator rows show block placement moving fewer NoC flits than
+# hashed placement.
+./target/release/crono scale --graph-scale 11 --degree 8 --shards 4 \
+  --threads 2 --sort-buffer 4096 --quiet --out "$trace_out/scale-a"
+scale_tsv="$trace_out/scale-a/scale.tsv"
+head -1 "$scale_tsv" | grep -q 'BytesPerEdge'
+awk -F'\t' 'NR == 1 { cols = NF; next } NF != cols { exit 1 }
+            END { exit (NR < 2) }' "$scale_tsv"
+awk -F'\t' '$1 == "build" && $2 != "flat-csr-reference" { packed = $6 }
+            $1 == "build" && $2 == "flat-csr-reference" { flat = $6 }
+            END { exit !(packed + 0 > 0 && packed + 0 <= 0.7 * flat) }' "$scale_tsv"
+awk -F'\t' '$1 == "sim-bfs" && $2 == "block"  { block = $10 }
+            $1 == "sim-bfs" && $2 == "hashed" { hashed = $10 }
+            END { exit !(block + 0 > 0 && block + 0 < hashed + 0) }' "$scale_tsv"
+if [ -e "$trace_out/scale-a/scale.resume.tsv" ]; then
+  echo "ERROR: finished scale run left its checkpoint behind" >&2
+  exit 1
+fi
+echo "scale OK: >=30% bytes/edge saved, block placement cheaper"
+
+echo "==> scale-track determinism"
+# A seeded scale run is byte-identical across fresh processes (modeled
+# cycles only, no wall-clock or RSS in the artifact).
+./target/release/crono scale --graph-scale 11 --degree 8 --shards 4 \
+  --threads 2 --sort-buffer 4096 --quiet --out "$trace_out/scale-b"
+cmp "$scale_tsv" "$trace_out/scale-b/scale.tsv"
+echo "scale determinism OK: two runs byte-identical"
+
+echo "==> compressed-vs-plain golden-distance gate"
+# BFS distances through the varint-compressed representation must
+# fingerprint identically to the flat CSR and the sequential oracle.
+cargo test -q --offline -p crono-algos --test scale_kernels golden_distance
+
 echo "==> panic-containment tests"
 # A panicking kernel must yield a typed error (not a deadlock or abort)
 # on both backends; re-run those tests by name.
