@@ -223,6 +223,72 @@ fn lockfree_bound(c: &mut Criterion) {
     g.finish();
 }
 
+fn dirop_bfs(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_dirop_bfs");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (kernel, ablation) in [("default", None), ("dirop", Some(Ablation::DiropBfs))] {
+        g.bench_function(kernel, |b| {
+            b.iter(|| {
+                run_parallel_ablated(
+                    Benchmark::Bfs,
+                    &SimMachine::new(SimConfig::default(), 16),
+                    &w,
+                    ablation,
+                )
+                .completion
+            })
+        });
+    }
+    g.finish();
+}
+
+fn delta_sssp(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_delta_sssp");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (kernel, ablation) in [("default", None), ("delta", Some(Ablation::DeltaSssp))] {
+        g.bench_function(kernel, |b| {
+            b.iter(|| {
+                run_parallel_ablated(
+                    Benchmark::SsspDijk,
+                    &SimMachine::new(SimConfig::default(), 16),
+                    &w,
+                    ablation,
+                )
+                .completion
+            })
+        });
+    }
+    g.finish();
+}
+
+fn afforest_cc(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("ablation_afforest_cc");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (kernel, ablation) in [("default", None), ("afforest", Some(Ablation::AfforestCc))] {
+        g.bench_function(kernel, |b| {
+            b.iter(|| {
+                run_parallel_ablated(
+                    Benchmark::ConnComp,
+                    &SimMachine::new(SimConfig::default(), 16),
+                    &w,
+                    ablation,
+                )
+                .completion
+            })
+        });
+    }
+    g.finish();
+}
+
 fn locality_aware(c: &mut Criterion) {
     let w = workload();
     let mut g = c.benchmark_group("ablation_locality_aware");
@@ -281,6 +347,9 @@ criterion_group!(
     pagerank_update,
     task_steal,
     lockfree_bound,
+    dirop_bfs,
+    delta_sssp,
+    afforest_cc,
     locality_aware,
     routing
 );

@@ -6,11 +6,12 @@
 //! capture ... via atomic locks"), and "a barrier is required ... to hop
 //! to the next vertex in each iteration".
 
-use crate::graph_view::SharedGraph;
+use crate::graph_view::{chunk, SharedGraph};
 use crate::{costs, AlgoOutcome};
 use crono_graph::{CsrGraph, VertexId};
 use crono_runtime::{
-    LockSet, Machine, SharedBitmap, SharedFlags, SharedU32s, SharedU64s, ThreadCtx, TrackedVec,
+    LockSet, Machine, SharedBitmap, SharedFlags, SharedU32s, SharedU64s, SlidingQueue, ThreadCtx,
+    TrackedVec,
 };
 use std::collections::VecDeque;
 
@@ -360,6 +361,276 @@ pub fn parallel_bitmap<M: Machine>(
     }
 }
 
+/// Push→pull switch threshold: leave top-down when the frontier's
+/// outgoing edges exceed `edges_remaining / DIROP_ALPHA` (Beamer's
+/// direction-optimizing heuristic, GAP's `alpha`).
+pub const DIROP_ALPHA: u64 = 15;
+
+/// Pull→push switch threshold: return to top-down once the frontier
+/// shrinks below `n / DIROP_BETA` vertices (GAP's `beta`).
+pub const DIROP_BETA: u64 = 18;
+
+/// Per-thread buffered discoveries flushed into the [`SlidingQueue`]
+/// with one chunked claim.
+const DIROP_CHUNK: usize = 64;
+
+/// The traversal direction a direction-optimizing BFS level ran in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Top-down: expand the frontier's out-edges (sparse frontiers).
+    Push,
+    /// Bottom-up: unvisited vertices probe their in-edges for a frontier
+    /// parent (dense frontiers).
+    Pull,
+}
+
+/// Direction-optimizing BFS (Beamer's push/pull hybrid, the GAP
+/// reference implementation) — the `dirop_bfs` ablation.
+///
+/// Top-down levels drain a [`SlidingQueue`] frontier: each thread takes
+/// a static share of the level's window, claims neighbors with one
+/// `test_and_set` on a shared `visited` [`SharedBitmap`] (no locks), and
+/// publishes its discoveries with chunked queue claims. When the
+/// frontier's outgoing edge count exceeds `edges_remaining /`
+/// [`DIROP_ALPHA`], the level flips to bottom-up: the frontier converts
+/// to a bitmap and every *unvisited* vertex scans its in-edges for an
+/// already-visited parent, early-exiting on the first hit — writes
+/// become owner-local (each vertex is claimed by the thread that owns
+/// its chunk), which is what collapses the sharing-miss and NoC-flit
+/// counters on low-diameter R-MAT graphs. Once the frontier shrinks
+/// below `n /` [`DIROP_BETA`], it converts back to the queue.
+///
+/// Levels are hop distances — schedule-independent — so the output is
+/// bit-identical to [`sequential`] regardless of direction decisions or
+/// thread count. The decisions themselves depend only on aggregate
+/// frontier counts, so they are a deterministic function of
+/// `(graph, source)`; [`parallel_dirop_traced`] exposes them for tests.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn parallel_dirop<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> AlgoOutcome<BfsOutput> {
+    parallel_dirop_traced(machine, graph, source).0
+}
+
+/// [`parallel_dirop`], additionally returning the per-level direction
+/// decisions (index = BFS depth of the frontier processed).
+pub fn parallel_dirop_traced<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> (AlgoOutcome<BfsOutput>, Vec<Direction>) {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let m = graph.num_directed_edges() as u64;
+    let shared = SharedGraph::new(graph);
+    // The transpose serves the bottom-up in-edge probes. Generators emit
+    // symmetric graphs (transpose == graph), but building it keeps the
+    // kernel correct on directed inputs; like all input prep it happens
+    // outside the timed region.
+    let transpose = graph.transpose();
+    let tshared = SharedGraph::new(&transpose);
+    let level = SharedU32s::filled(n, UNVISITED);
+    level.set_plain(source as usize, 0);
+    let visited = SharedBitmap::new(n);
+    visited.set_plain(source as usize);
+    // Every vertex enters the queue at most once (test_and_set claims
+    // dedupe), so capacity n never overflows and no reset is needed:
+    // the window slides monotonically, GAP-style.
+    let queue = SlidingQueue::new(n);
+    queue.push_plain(source);
+    let pull_fronts = [SharedBitmap::new(n), SharedBitmap::new(n)];
+    let activations = SharedU64s::new(3);
+    let scouts = SharedU64s::new(3);
+    let source_degree = graph.neighbors(source).count() as u64;
+
+    let outcome = machine.run(|ctx| {
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        let mut depth = 0u32;
+        let mut mode = Direction::Push;
+        let mut modes = Vec::new();
+        // All of these mirror *published aggregate* counters, so every
+        // thread holds identical values and makes identical decisions.
+        let mut taken = 0usize;
+        let mut frontier_count = 1u64;
+        let mut scout_prev = source_degree;
+        let mut edges_remaining = m;
+        loop {
+            if ctx.cancelled() {
+                break;
+            }
+            modes.push(mode);
+            let mut activated = 0u64;
+            let mut scout = 0u64;
+            match mode {
+                Direction::Push => {
+                    ctx.span_begin("bfs:push");
+                    edges_remaining = edges_remaining.saturating_sub(scout_prev);
+                    activations.set(ctx, (depth as usize + 2) % 3, 0);
+                    scouts.set(ctx, (depth as usize + 2) % 3, 0);
+                    // Every activation pushed exactly one queue entry, so
+                    // the window end is `taken + frontier_count` — known
+                    // from the published counter without racing threads
+                    // that already push the *next* level's entries.
+                    let end = taken + frontier_count as usize;
+                    let mut buf: Vec<u32> = Vec::with_capacity(DIROP_CHUNK);
+                    let mut processed = 0u64;
+                    for k in chunk(end - taken, tid, nthreads) {
+                        let v = queue.get(ctx, taken + k);
+                        processed += 1;
+                        ctx.compute(costs::VISIT);
+                        for e in shared.edge_range(ctx, v) {
+                            let u = shared.neighbor(ctx, e) as usize;
+                            // Read-then-claim: the RMW only fires on
+                            // plausibly-unvisited vertices.
+                            if !visited.get(ctx, u) && !visited.test_and_set(ctx, u) {
+                                level.set(ctx, u, depth + 1);
+                                activated += 1;
+                                scout += shared.degree(ctx, u as VertexId) as u64;
+                                buf.push(u as u32);
+                                if buf.len() == DIROP_CHUNK {
+                                    queue.push_chunk(ctx, &buf);
+                                    buf.clear();
+                                }
+                            }
+                        }
+                    }
+                    queue.push_chunk(ctx, &buf);
+                    taken = end;
+                    if processed > 0 {
+                        ctx.record_active(processed);
+                    }
+                }
+                Direction::Pull => {
+                    ctx.span_begin("bfs:pull");
+                    activations.set(ctx, (depth as usize + 2) % 3, 0);
+                    scouts.set(ctx, (depth as usize + 2) % 3, 0);
+                    let cur = &pull_fronts[depth as usize % 2];
+                    let next = &pull_fronts[(depth as usize + 1) % 2];
+                    // Wipe the stale ping-pong bitmap (word-chunked)
+                    // before anyone writes activations into it.
+                    next.clear_words(ctx, chunk(next.num_words(), tid, nthreads));
+                    ctx.barrier();
+                    for v in chunk(n, tid, nthreads) {
+                        if visited.get(ctx, v) {
+                            continue;
+                        }
+                        ctx.compute(costs::VISIT);
+                        for e in tshared.edge_range(ctx, v as VertexId) {
+                            let u = tshared.neighbor(ctx, e) as usize;
+                            if cur.get(ctx, u) {
+                                // Owner-writes: v lives in this thread's
+                                // chunk, so no other thread touches its
+                                // level entry or frontier bit.
+                                visited.set(ctx, v);
+                                level.set(ctx, v, depth + 1);
+                                next.set(ctx, v);
+                                activated += 1;
+                                scout += shared.degree(ctx, v as VertexId) as u64;
+                                break;
+                            }
+                        }
+                    }
+                    if activated > 0 {
+                        ctx.record_active(activated);
+                    }
+                }
+            }
+            if activated > 0 {
+                activations.fetch_add(ctx, (depth as usize + 1) % 3, activated);
+                scouts.fetch_add(ctx, (depth as usize + 1) % 3, scout);
+            }
+            ctx.barrier();
+            frontier_count = activations.get(ctx, (depth as usize + 1) % 3);
+            scout_prev = scouts.get(ctx, (depth as usize + 1) % 3);
+            ctx.span_end(match mode {
+                Direction::Push => "bfs:push",
+                Direction::Pull => "bfs:pull",
+            });
+            if frontier_count == 0 {
+                break;
+            }
+            let next_mode = match mode {
+                // Beamer: go bottom-up when the frontier's out-edges
+                // dominate the unexplored edges.
+                Direction::Push if scout_prev > edges_remaining / DIROP_ALPHA => Direction::Pull,
+                // ... and back once the frontier is sparse again.
+                Direction::Pull if frontier_count < n as u64 / DIROP_BETA => Direction::Push,
+                other => other,
+            };
+            match (mode, next_mode) {
+                (Direction::Push, Direction::Pull) => {
+                    // Queue window -> bitmap: wipe both ping-pong maps,
+                    // then mirror the frontier into the level's `cur`.
+                    let end = taken + frontier_count as usize;
+                    pull_fronts[0].clear_words(
+                        ctx,
+                        chunk(pull_fronts[0].num_words(), tid, nthreads),
+                    );
+                    pull_fronts[1].clear_words(
+                        ctx,
+                        chunk(pull_fronts[1].num_words(), tid, nthreads),
+                    );
+                    ctx.barrier();
+                    let cur = &pull_fronts[(depth as usize + 1) % 2];
+                    for k in chunk(end - taken, tid, nthreads) {
+                        let v = queue.get(ctx, taken + k);
+                        cur.set(ctx, v as usize);
+                    }
+                    taken = end;
+                    // The pull prologue's barrier orders these writes
+                    // before any cross-chunk read.
+                }
+                (Direction::Pull, Direction::Push) => {
+                    // Bitmap -> queue: collect this thread's words of the
+                    // fresh frontier and publish them with chunked claims.
+                    let cur = &pull_fronts[(depth as usize + 1) % 2];
+                    let words = chunk(cur.num_words(), tid, nthreads);
+                    let mut buf: Vec<u32> = Vec::with_capacity(DIROP_CHUNK);
+                    let mut pos = words.start * 64;
+                    let limit = (words.end * 64).min(n);
+                    while let Some(v) = cur.find_set_from(ctx, pos) {
+                        if v >= limit {
+                            break;
+                        }
+                        pos = v + 1;
+                        buf.push(v as u32);
+                        if buf.len() == DIROP_CHUNK {
+                            queue.push_chunk(ctx, &buf);
+                            buf.clear();
+                        }
+                    }
+                    queue.push_chunk(ctx, &buf);
+                    // The next push level reads the queue tail, so every
+                    // conversion push must land first.
+                    ctx.barrier();
+                }
+                _ => {}
+            }
+            mode = next_mode;
+            depth += 1;
+        }
+        modes
+    });
+    let modes = outcome
+        .per_thread
+        .first()
+        .cloned()
+        .unwrap_or_default();
+    (
+        AlgoOutcome {
+            output: summarize(level.to_vec()),
+            report: outcome.report,
+        },
+        modes,
+    )
+}
+
 /// Parallel BFS with *inner-loop* parallelization — the paper's §III-4
 /// alternative: "each thread picks a vertex and searches its neighbors
 /// ... the neighbors are statically divided amongst threads ... a
@@ -582,6 +853,26 @@ mod tests {
                 "batched={batched} independent={independent}"
             );
         });
+    }
+
+    #[test]
+    fn dirop_matches_sequential() {
+        let g = uniform_random(256, 1024, 4, 2);
+        let seq = sequential(&NativeMachine::new(1), &g, 3);
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_dirop(&NativeMachine::new(threads), &g, 3);
+            assert_eq!(par.output.level, seq.output.level, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dirop_direction_schedule_is_thread_count_invariant() {
+        let g = uniform_random(256, 1024, 4, 2);
+        let (_, base) = parallel_dirop_traced(&NativeMachine::new(1), &g, 3);
+        for threads in [2, 4, 8] {
+            let (_, modes) = parallel_dirop_traced(&NativeMachine::new(threads), &g, 3);
+            assert_eq!(modes, base, "threads={threads}");
+        }
     }
 
     #[test]

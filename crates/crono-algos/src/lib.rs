@@ -196,15 +196,31 @@ pub enum Ablation {
     /// the global bound plus a seqlock-guarded tour, eliminating the
     /// paper's atomic bound lock entirely.
     LockfreeBound,
+    /// Direction-optimizing BFS (Beamer et al.): sliding-queue push
+    /// levels that switch to bitmap pull levels on the GAP heuristic
+    /// once the frontier's scouted edges dominate the unexplored rest.
+    DiropBfs,
+    /// Delta-stepping SSSP (Meyer & Sanders): bucketed sliding-queue
+    /// frontiers with a precomputed light/heavy edge split instead of
+    /// full-array pareto-front scans.
+    DeltaSssp,
+    /// Afforest connected components (Sutton et al.): lock-free
+    /// min-hooking union-find with neighbor-round sampling that skips
+    /// the most frequent component, instead of iterative label
+    /// propagation.
+    AfforestCc,
 }
 
 impl Ablation {
     /// Every ablation, in CLI-listing order.
-    pub const ALL: [Ablation; 4] = [
+    pub const ALL: [Ablation; 7] = [
         Ablation::FrontierRepr,
         Ablation::PagerankUpdate,
         Ablation::TaskSteal,
         Ablation::LockfreeBound,
+        Ablation::DiropBfs,
+        Ablation::DeltaSssp,
+        Ablation::AfforestCc,
     ];
 
     /// The CLI / TSV key of this ablation.
@@ -214,6 +230,9 @@ impl Ablation {
             Ablation::PagerankUpdate => "pagerank_update",
             Ablation::TaskSteal => "task_steal",
             Ablation::LockfreeBound => "lockfree_bound",
+            Ablation::DiropBfs => "dirop_bfs",
+            Ablation::DeltaSssp => "delta_sssp",
+            Ablation::AfforestCc => "afforest_cc",
         }
     }
 
@@ -244,6 +263,9 @@ impl Ablation {
                 &[Benchmark::Apsp, Benchmark::BetwCent, Benchmark::Dfs]
             }
             Ablation::LockfreeBound => &[Benchmark::Tsp],
+            Ablation::DiropBfs => &[Benchmark::Bfs],
+            Ablation::DeltaSssp => &[Benchmark::SsspDijk],
+            Ablation::AfforestCc => &[Benchmark::ConnComp],
         }
     }
 

@@ -10,11 +10,12 @@
 //! effective (§III-1), but the lock traffic and barriers bound its
 //! scaling — the paper measures only 4.45× at 256 threads.
 
-use crate::graph_view::SharedGraph;
+use crate::graph_view::{chunk, SharedGraph};
 use crate::{costs, AlgoOutcome};
 use crono_graph::{CsrGraph, VertexId};
 use crono_runtime::{
-    LockSet, Machine, SharedBitmap, SharedFlags, SharedU32s, SharedU64s, ThreadCtx, TrackedVec,
+    LockSet, Machine, SharedBitmap, SharedFlags, SharedU32s, SharedU64s, SlidingQueue, ThreadCtx,
+    TrackedVec,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -393,6 +394,258 @@ pub fn parallel_inner<M: Machine>(
     }
 }
 
+/// Picks the delta-stepping bucket width: the mean edge weight, clamped
+/// to at least 1. A width near the average weight keeps light buckets
+/// busy without serializing into one-vertex Dijkstra steps. Computed
+/// outside the timed region.
+fn pick_delta(graph: &CsrGraph) -> u32 {
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for v in 0..graph.num_vertices() as VertexId {
+        for (_, w) in graph.neighbors(v) {
+            total += w as u64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1
+    } else {
+        ((total / count) as u32).max(1)
+    }
+}
+
+/// Splits `graph` into its light (`w <= delta`) and heavy (`w > delta`)
+/// edge sub-CSRs. Built outside the timed region, like the transpose the
+/// pull kernels precompute.
+fn split_by_weight(graph: &CsrGraph, delta: u32) -> (CsrGraph, CsrGraph) {
+    let n = graph.num_vertices();
+    let mut light = Vec::new();
+    let mut heavy = Vec::new();
+    for v in 0..n as VertexId {
+        for (u, w) in graph.neighbors(v) {
+            if w <= delta {
+                light.push((v, u, w));
+            } else {
+                heavy.push((v, u, w));
+            }
+        }
+    }
+    (CsrGraph::from_edges(n, light), CsrGraph::from_edges(n, heavy))
+}
+
+/// Parallel SSSP by *delta-stepping* (Meyer & Sanders; the GAP-style
+/// `delta_sssp` ablation) over [`SlidingQueue`] bucket frontiers.
+///
+/// Tentative distances are grouped into buckets of width `delta` (the
+/// mean edge weight). Each bucket is drained by barrier-synchronous
+/// *light* iterations that relax only edges with `w <= delta` — an
+/// improved vertex whose new distance stays inside the bucket re-enters
+/// the current frontier window, one outside it is parked in a pending
+/// queue (deduplicated by a membership bitmap; a vertex is parked at
+/// most once, redistribution always re-reads its fresh distance). Once
+/// the bucket stops changing, every vertex it settled relaxes its
+/// *heavy* edges exactly once — those can only land in later buckets —
+/// and the pending entries are redistributed in two statically-divided
+/// passes: a `fetch_min` vote picks the next non-empty bucket, then
+/// entries move either into the new frontier or into the ping-pong
+/// pending queue. Distance updates reuse the striped-lock relaxation of
+/// [`parallel`], so the result is bit-identical to the sequential
+/// Dijkstra reference; `rounds` reports the number of buckets drained.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn parallel_delta<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    source: VertexId,
+) -> AlgoOutcome<SsspOutput> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let m = graph.num_directed_edges();
+    let delta = pick_delta(graph);
+    let (light, heavy) = split_by_weight(graph, delta);
+    let light = SharedGraph::new(&light);
+    let heavy = SharedGraph::new(&heavy);
+    let dist = SharedU32s::filled(n, UNREACHABLE);
+    dist.set_plain(source as usize, 0);
+    // Current-bucket frontier (reset once per bucket), ping-pong pending
+    // queues (at most one live entry per vertex, so capacity n), and the
+    // once-per-vertex settled log the heavy phase drains.
+    let cur = SlidingQueue::new(2 * m + n + 64);
+    cur.push_plain(source);
+    let pend = [SlidingQueue::new(n + 64), SlidingQueue::new(n + 64)];
+    let pending_mark = SharedBitmap::new(n);
+    let settled = SlidingQueue::new(n + 64);
+    let settled_mark = SharedBitmap::new(n);
+    let next_min = SharedU64s::filled(1, u64::MAX);
+    let locks = LockSet::new(n.min(8192));
+
+    let rounds_done = machine.run(|ctx| {
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        let mut k = 0u64;
+        let mut a = 0usize;
+        let mut buckets = 0u32;
+        loop {
+            if ctx.cancelled() {
+                break;
+            }
+            ctx.span_begin("sssp:bucket");
+            buckets += 1;
+            // All finite distances stay below UNREACHABLE, so capping the
+            // bucket boundary there is harmless and overflow-free.
+            let bucket_end = ((k + 1) * delta as u64).min(UNREACHABLE as u64) as u32;
+            // Light iterations: drain successive frontier windows until
+            // one comes up empty. Every push lands beyond the window
+            // being drained, so a slide between barriers opens exactly
+            // the entries the previous iteration produced.
+            loop {
+                if tid == 0 {
+                    cur.slide(ctx);
+                }
+                ctx.barrier();
+                let w = cur.window(ctx);
+                if w.is_empty() {
+                    break;
+                }
+                let len = w.end - w.start;
+                let mut processed = 0u64;
+                for i in chunk(len, tid, nthreads) {
+                    let v = cur.get(ctx, w.start + i) as usize;
+                    ctx.compute(costs::VISIT);
+                    let dv = dist.get(ctx, v);
+                    if dv >= bucket_end {
+                        continue;
+                    }
+                    processed += 1;
+                    if !settled_mark.get(ctx, v) && !settled_mark.test_and_set(ctx, v) {
+                        settled.push(ctx, v as u32);
+                    }
+                    for e in light.edge_range(ctx, v as VertexId) {
+                        let (u, wt) = light.edge(ctx, e);
+                        ctx.compute(costs::RELAX);
+                        let nd = dv + wt;
+                        if nd < dist.get(ctx, u as usize) {
+                            ctx.lock_for(&locks, u as usize);
+                            if nd < dist.get(ctx, u as usize) {
+                                dist.set(ctx, u as usize, nd);
+                                if nd < bucket_end {
+                                    cur.push(ctx, u);
+                                } else if !pending_mark.get(ctx, u as usize)
+                                    && !pending_mark.test_and_set(ctx, u as usize)
+                                {
+                                    pend[a].push(ctx, u);
+                                }
+                            }
+                            ctx.unlock_for(&locks, u as usize);
+                        }
+                    }
+                }
+                if processed > 0 {
+                    ctx.record_active(processed);
+                }
+                ctx.barrier();
+            }
+            // Heavy phase: everything this bucket settled relaxes its
+            // heavy edges exactly once (`w > delta` forces the target
+            // past the bucket boundary, so successes park in `pend`).
+            // The frontier is fully drained, so tid 0 reclaims it.
+            if tid == 0 {
+                settled.slide(ctx);
+                cur.reset(ctx);
+            }
+            ctx.barrier();
+            let sw = settled.window(ctx);
+            let slen = sw.end - sw.start;
+            let mut hprocessed = 0u64;
+            for i in chunk(slen, tid, nthreads) {
+                let v = settled.get(ctx, sw.start + i) as usize;
+                ctx.compute(costs::VISIT);
+                let dv = dist.get(ctx, v);
+                hprocessed += 1;
+                for e in heavy.edge_range(ctx, v as VertexId) {
+                    let (u, wt) = heavy.edge(ctx, e);
+                    ctx.compute(costs::RELAX);
+                    let nd = dv + wt;
+                    if nd < dist.get(ctx, u as usize) {
+                        ctx.lock_for(&locks, u as usize);
+                        if nd < dist.get(ctx, u as usize) {
+                            dist.set(ctx, u as usize, nd);
+                            if !pending_mark.get(ctx, u as usize)
+                                && !pending_mark.test_and_set(ctx, u as usize)
+                            {
+                                pend[a].push(ctx, u);
+                            }
+                        }
+                        ctx.unlock_for(&locks, u as usize);
+                    }
+                }
+            }
+            if hprocessed > 0 {
+                ctx.record_active(hprocessed);
+            }
+            ctx.barrier();
+            // Redistribution: vote on the next non-empty bucket, then
+            // move live pending entries to the frontier or the other
+            // pending queue. Settled entries are stale and dropped.
+            if tid == 0 {
+                pend[a].slide(ctx);
+                next_min.set(ctx, 0, u64::MAX);
+            }
+            ctx.barrier();
+            let pw = pend[a].window(ctx);
+            let plen = pw.end - pw.start;
+            if plen == 0 {
+                ctx.span_end("sssp:bucket");
+                break;
+            }
+            for i in chunk(plen, tid, nthreads) {
+                let v = pend[a].get(ctx, pw.start + i) as usize;
+                ctx.compute(costs::VISIT);
+                if settled_mark.get(ctx, v) {
+                    continue;
+                }
+                let dv = dist.get(ctx, v);
+                next_min.fetch_min(ctx, 0, dv as u64 / delta as u64);
+            }
+            ctx.barrier();
+            let k2 = next_min.get(ctx, 0);
+            if k2 == u64::MAX {
+                ctx.span_end("sssp:bucket");
+                break;
+            }
+            for i in chunk(plen, tid, nthreads) {
+                let v = pend[a].get(ctx, pw.start + i) as usize;
+                if settled_mark.get(ctx, v) {
+                    continue;
+                }
+                let dv = dist.get(ctx, v);
+                if dv as u64 / delta as u64 == k2 {
+                    cur.push(ctx, v as u32);
+                } else {
+                    pend[1 - a].push(ctx, v as u32);
+                }
+            }
+            ctx.barrier();
+            if tid == 0 {
+                pend[a].reset(ctx);
+            }
+            ctx.span_end("sssp:bucket");
+            k = k2;
+            a = 1 - a;
+        }
+        buckets
+    });
+    AlgoOutcome {
+        output: SsspOutput {
+            dist: dist.to_vec(),
+            rounds: rounds_done.per_thread[0],
+        },
+        report: rounds_done.report,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +752,57 @@ mod tests {
         let seq = sequential(&NativeMachine::new(1), &g, 0);
         let inner = parallel_inner(&NativeMachine::new(4), &g, 0);
         assert_eq!(inner.output.dist, seq.output.dist);
+    }
+
+    #[test]
+    fn delta_stepping_matches_sequential() {
+        let g = uniform_random(256, 1024, 32, 5);
+        let seq = sequential(&NativeMachine::new(1), &g, 7);
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_delta(&NativeMachine::new(threads), &g, 7);
+            assert_eq!(par.output.dist, seq.output.dist, "threads={threads}");
+            assert!(par.output.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn delta_stepping_on_road_network() {
+        let g = road_network(12, 12, 8, 0.2, 0.05, 9);
+        let oracle = reference(&g, 0);
+        for threads in [1, 4] {
+            let par = parallel_delta(&NativeMachine::new(threads), &g, 0);
+            assert_eq!(par.output.dist, oracle, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn delta_stepping_disconnected_and_uniform_weights() {
+        // Disconnected vertices stay unreachable.
+        let g = CsrGraph::from_edges(3, vec![(0, 1, 4), (1, 0, 4)]);
+        let out = parallel_delta(&NativeMachine::new(2), &g, 0);
+        assert_eq!(out.output.dist, vec![0, 4, UNREACHABLE]);
+        // All-equal weights: every edge is light, the heavy phase is a
+        // no-op, and the kernel degenerates to bucketed Bellman-Ford.
+        let g = uniform_random(128, 512, 1, 6);
+        let oracle = reference(&g, 2);
+        let out = parallel_delta(&NativeMachine::new(4), &g, 2);
+        assert_eq!(out.output.dist, oracle);
+    }
+
+    #[test]
+    fn delta_stepping_uses_multiple_buckets() {
+        // Wide weight spread forces several non-empty buckets.
+        let g = uniform_random(256, 1024, 64, 8);
+        let out = parallel_delta(&NativeMachine::new(4), &g, 0);
+        assert_eq!(out.output.dist, reference(&g, 0));
+        assert!(out.output.rounds >= 2, "got {} buckets", out.output.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delta_bad_source_rejected() {
+        let g = uniform_random(8, 12, 4, 0);
+        parallel_delta(&NativeMachine::new(2), &g, 100);
     }
 
     #[test]

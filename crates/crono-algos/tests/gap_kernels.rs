@@ -1,0 +1,130 @@
+//! Equivalence gates for the GAP-class kernels (direction-optimizing
+//! BFS, delta-stepping SSSP, Afforest connected components): every
+//! optimized kernel must produce output bit-identical to its sequential
+//! reference on every generator family, at 1, 4, and 16 threads — plus
+//! pinning tests for the BFS push↔pull schedule, which depends only on
+//! deterministic frontier statistics and must therefore never drift
+//! without an intentional heuristic change.
+
+use crono_algos::{bfs, connected, sssp};
+use crono_graph::gen::catalog::Dataset;
+use crono_graph::gen::{
+    preferential_attachment, rmat, road_network, uniform_random, RmatParams,
+};
+use crono_graph::CsrGraph;
+use crono_runtime::NativeMachine;
+
+const THREADS: [usize; 3] = [1, 4, 16];
+
+/// One seeded graph per generator family (all five sources the suite
+/// ships: uniform, R-MAT, road grid, preferential attachment, and the
+/// Table-III catalog stand-ins).
+fn generator_zoo() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("uniform_random", uniform_random(300, 1200, 16, 21)),
+        ("rmat", rmat(9, 4096, 8, RmatParams::default(), 5)),
+        ("road_network", road_network(18, 18, 16, 0.1, 0.02, 7)),
+        (
+            "preferential_attachment",
+            preferential_attachment(400, 4, 16, 9),
+        ),
+        ("catalog", Dataset::SparseSynthetic.generate(12, 33)),
+    ]
+}
+
+#[test]
+fn dirop_bfs_matches_sequential_on_every_generator() {
+    for (name, g) in generator_zoo() {
+        let seq = bfs::sequential(&NativeMachine::new(1), &g, 0);
+        for threads in THREADS {
+            let par = bfs::parallel_dirop(&NativeMachine::new(threads), &g, 0);
+            assert_eq!(
+                par.output.level, seq.output.level,
+                "{name} threads={threads}"
+            );
+            assert_eq!(par.output.reachable, seq.output.reachable, "{name}");
+            assert_eq!(par.output.levels, seq.output.levels, "{name}");
+        }
+    }
+}
+
+#[test]
+fn delta_sssp_matches_sequential_on_every_generator() {
+    for (name, g) in generator_zoo() {
+        let seq = sssp::sequential(&NativeMachine::new(1), &g, 0);
+        for threads in THREADS {
+            let par = sssp::parallel_delta(&NativeMachine::new(threads), &g, 0);
+            assert_eq!(
+                par.output.dist, seq.output.dist,
+                "{name} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn afforest_cc_matches_sequential_on_every_generator() {
+    for (name, g) in generator_zoo() {
+        let seq = connected::sequential(&NativeMachine::new(1), &g);
+        for threads in THREADS {
+            let par = connected::parallel_afforest(&NativeMachine::new(threads), &g);
+            assert_eq!(
+                par.output.labels, seq.output.labels,
+                "{name} threads={threads}"
+            );
+            assert_eq!(par.output.components, seq.output.components, "{name}");
+        }
+    }
+}
+
+/// Pins the push↔pull schedule on a known low-diameter R-MAT: the GAP
+/// heuristic must go bottom-up once the frontier's scouted edges
+/// dominate the unexplored remainder, and come back down for the tail.
+/// The decision uses only aggregate frontier statistics, so the
+/// schedule is identical at every thread count.
+#[test]
+fn dirop_switches_to_pull_on_rmat() {
+    let g = rmat(9, 8192, 4, RmatParams::default(), 5);
+    let mut schedules = Vec::new();
+    for threads in THREADS {
+        let (_, modes) = bfs::parallel_dirop_traced(&NativeMachine::new(threads), &g, 0);
+        schedules.push(modes);
+    }
+    assert_eq!(schedules[0], schedules[1]);
+    assert_eq!(schedules[1], schedules[2]);
+    let modes = &schedules[0];
+    assert_eq!(modes[0], bfs::Direction::Push, "level 0 is a single-vertex push");
+    assert!(
+        modes.contains(&bfs::Direction::Pull),
+        "dense R-MAT never triggered bottom-up: {modes:?}"
+    );
+}
+
+/// Pins the schedule on a known road grid. A high-diameter planar
+/// wavefront stays top-down for the whole first half of the traversal
+/// (it never scouts enough edges while plenty remain unexplored), and
+/// only once the unexplored remainder is nearly exhausted does the
+/// alpha test start firing — at which point the small frontier flips
+/// straight back, giving a short push/pull oscillation before the
+/// all-push tail. The exact level indices are pinned so any change to
+/// the heuristic or its bookkeeping is a conscious one.
+#[test]
+fn dirop_road_grid_schedule_is_pinned() {
+    let g = road_network(24, 24, 16, 0.05, 0.0, 11);
+    let mut schedules = Vec::new();
+    for threads in THREADS {
+        let (out, modes) = bfs::parallel_dirop_traced(&NativeMachine::new(threads), &g, 0);
+        assert!(out.output.levels >= 10, "grid should be deep, got {}", out.output.levels);
+        schedules.push(modes);
+    }
+    assert_eq!(schedules[0], schedules[1]);
+    assert_eq!(schedules[1], schedules[2]);
+    let pulls: Vec<usize> = schedules[0]
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m == bfs::Direction::Pull)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(schedules[0].len(), 47);
+    assert_eq!(pulls, vec![21, 23, 25, 27, 29], "pull levels moved");
+}

@@ -230,6 +230,62 @@ impl WorkDeque {
         }
     }
 
+    /// Bulk steal for deep victims: takes up to *half* of the tasks
+    /// visible at entry, returning the first in `Steal::Taken` and
+    /// pushing the remainder into `dest` — the **thief's own** deque
+    /// (owner-side pushes, so only the thief may pass its deque here,
+    /// and `dest` must not alias `self`).
+    ///
+    /// Each element is still claimed with its own top CAS — the price of
+    /// staying inside the proven single-steal protocol without `unsafe`
+    /// (a single CAS over a *range* of slots races owner pops of the
+    /// interior elements). The win is trip amortization: one probe round
+    /// repatriates a backlog the thief then drains from its private
+    /// bottom, instead of re-probing (and re-pinging the victim's
+    /// `top`/`bottom` lines) once per task.
+    ///
+    /// Stops early — keeping what it already took — when a CAS race is
+    /// lost, the victim drains, or `dest` refuses (full ring).
+    pub fn steal_half<C: ThreadCtx>(&self, ctx: &mut C, dest: &WorkDeque) -> Steal {
+        let t = self.top.load(Ordering::SeqCst);
+        ctx.load(self.top_addr());
+        let b = self.bottom.load(Ordering::SeqCst);
+        ctx.load(self.bottom_addr());
+        if t >= b {
+            return Steal::Empty;
+        }
+        let want = b.wrapping_sub(t).div_ceil(2);
+        let mut first = None;
+        for _ in 0..want {
+            // Check room *before* stealing an extra: only the thief
+            // pushes into `dest`, so room cannot shrink underneath us,
+            // and we never hold a task we have nowhere to put.
+            if first.is_some() && dest.len() >= dest.capacity() {
+                break;
+            }
+            match self.steal(ctx) {
+                Steal::Taken(task) => match first {
+                    None => first = Some(task),
+                    Some(_) => {
+                        let pushed = dest.push(ctx, task);
+                        debug_assert!(pushed, "room was checked above");
+                        if !pushed {
+                            return Steal::Taken(task);
+                        }
+                    }
+                },
+                // Someone else is stealing here too; the backlog is
+                // being balanced regardless, so stop competing.
+                Steal::Retry if first.is_none() => return Steal::Retry,
+                Steal::Empty | Steal::Retry => break,
+            }
+        }
+        match first {
+            Some(task) => Steal::Taken(task),
+            None => Steal::Empty,
+        }
+    }
+
     /// Tasks currently visible (racy; exact only when quiescent).
     pub fn len(&self) -> usize {
         let b = self.bottom.load(Ordering::SeqCst);
@@ -276,6 +332,13 @@ const PROBE_VICTIMS_FIXED: usize = 2;
 /// scheduling turns) while stragglers finish.
 const IDLE_BACKOFF_MIN: u32 = 32;
 const IDLE_BACKOFF_MAX: u32 = 4096;
+
+/// Victim backlog at which a probe upgrades from a single steal to
+/// [`WorkDeque::steal_half`]. Below this the victim's owner drains its
+/// own deque faster than bulk repatriation pays for itself; above it the
+/// thief takes half the backlog home in one trip instead of re-probing
+/// per task.
+const STEAL_HALF_DEPTH: usize = 4;
 
 /// One work-stealing deque per thread plus seeded victim selection and
 /// exact termination detection.
@@ -435,7 +498,24 @@ impl TaskPool {
                 continue;
             }
             loop {
-                match self.deques[victim].steal(ctx) {
+                // Deep victims are worth a bulk steal: move half of the
+                // backlog into our own deque in one trip, then drain it
+                // from the private bottom. `len()` here is scheduling
+                // metadata (the upgrade decision), not program data; the
+                // steal itself charges every access it performs.
+                let deep = self.deques[victim].len() >= STEAL_HALF_DEPTH;
+                let stolen = if deep {
+                    let got = self.deques[victim].steal_half(ctx, &self.deques[tid]);
+                    if matches!(got, Steal::Taken(_)) {
+                        // The repatriated backlog makes us a victim too.
+                        self.seeded[tid].store(1, Ordering::SeqCst);
+                        self.note_depth(self.deques[tid].len() as u64);
+                    }
+                    got
+                } else {
+                    self.deques[victim].steal(ctx)
+                };
+                match stolen {
                     Steal::Taken(task) => {
                         // Resume at the productive victim next time.
                         self.cursors[tid].store(((start + k) % order.len()) as u64, Ordering::Relaxed);
@@ -579,6 +659,35 @@ mod tests {
             assert_eq!(d.steal(ctx), Steal::Taken(1));
             assert_eq!(d.pop(ctx), Some(3), "owner still pops the newest");
             assert!(d.push(ctx, 99), "freed slots accept again");
+        });
+    }
+
+    #[test]
+    fn steal_half_moves_half_into_dest() {
+        with_ctx(|ctx| {
+            let victim = WorkDeque::new(16);
+            let thief = WorkDeque::new(16);
+            for v in 0..8 {
+                assert!(victim.push(ctx, v));
+            }
+            // Half of 8 = 4: the oldest task comes back, the next three
+            // land in the thief's deque (oldest first).
+            assert_eq!(victim.steal_half(ctx, &thief), Steal::Taken(0));
+            assert_eq!(victim.len(), 4, "half the backlog remains");
+            assert_eq!(thief.len(), 3);
+            for v in (1..4).rev() {
+                assert_eq!(thief.pop(ctx), Some(v), "repatriated LIFO drain");
+            }
+            // An empty victim reports Empty and moves nothing.
+            let empty = WorkDeque::new(4);
+            assert_eq!(empty.steal_half(ctx, &thief), Steal::Empty);
+            assert_eq!(thief.len(), 0);
+            // A full thief still gets the first task, just no surplus.
+            let tiny = WorkDeque::new(2);
+            assert!(tiny.push(ctx, 77));
+            assert!(tiny.push(ctx, 78));
+            assert_eq!(victim.steal_half(ctx, &tiny), Steal::Taken(4));
+            assert_eq!(tiny.len(), 2, "no surplus forced into a full ring");
         });
     }
 

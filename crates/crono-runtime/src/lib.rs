@@ -71,5 +71,6 @@ pub use report::{
     Breakdown, EnergyCounters, FaultCounters, MissStats, RunReport, ThreadReport,
 };
 pub use shared::{
-    ReadArray, SharedBitmap, SharedF64s, SharedFlags, SharedU32s, SharedU64s, TrackedVec,
+    ReadArray, SharedBitmap, SharedF64s, SharedFlags, SharedU32s, SharedU64s, SlidingQueue,
+    TrackedVec,
 };

@@ -479,6 +479,206 @@ impl SharedBitmap {
     }
 }
 
+/// A lock-free sliding-window frontier queue (GAP's `SlidingQueue`):
+/// producers append with chunked atomic claims, and consumers drain a
+/// frozen *window* of the backing array between barriers.
+///
+/// The structure replaces bitmap word-rescans on sparse frontiers: a
+/// level-synchronous kernel pushes next-level vertices during epoch `k`,
+/// calls [`SlidingQueue::slide`] behind a barrier (one thread), and then
+/// every thread reads its static share of the new window `[start, end)`
+/// during epoch `k + 1`. Pushes never contend with window reads because
+/// the window only covers entries published before the barrier.
+///
+/// Two simulator-facing properties drive the design:
+///
+/// * **Chunked claims.** [`SlidingQueue::push_chunk`] reserves one run of
+///   slots with a single `fetch_add` on the shared tail, so a thread
+///   buffering its local discoveries pays one contended RMW per chunk
+///   instead of one per vertex.
+/// * **Deterministic drains.** Consumers partition the window statically
+///   (by thread id) rather than racing a claim cursor, so a seeded run
+///   reads the same slots on the same threads every time.
+///
+/// Capacity is fixed at construction; overflow panics (kernels size the
+/// queue from the graph: a BFS frontier never exceeds `n` total pushes
+/// when `test_and_set` deduplicates insertions).
+///
+/// # Examples
+///
+/// ```
+/// use crono_runtime::{Machine, NativeMachine, SlidingQueue};
+///
+/// let q = SlidingQueue::new(8);
+/// NativeMachine::new(1).run(|ctx| {
+///     q.push_chunk(ctx, &[3, 5]);
+///     q.slide(ctx);
+///     let w = q.window(ctx);
+///     assert_eq!((w.start, w.end), (0, 2));
+///     assert_eq!(q.get(ctx, w.start), 3);
+///     q.push(ctx, 7); // lands in the *next* window
+///     q.slide(ctx);
+///     assert_eq!(q.window(ctx), 2..3);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct SlidingQueue {
+    /// Header: three cache-line-padded words (tail, start, end), so the
+    /// contended tail never false-shares with the window bounds.
+    header: Region,
+    region: Region,
+    slots: Vec<AtomicU32>,
+    tail: AtomicU64,
+    start: AtomicU64,
+    end: AtomicU64,
+}
+
+impl SlidingQueue {
+    /// Creates a queue with room for `capacity` total pushes between
+    /// [`SlidingQueue::reset`]s.
+    pub fn new(capacity: usize) -> Self {
+        SlidingQueue {
+            header: alloc_region(3 * crate::LINE_SIZE),
+            region: alloc_region(capacity as u64 * 4),
+            slots: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            tail: AtomicU64::new(0),
+            start: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Symbolic address of slot `i`.
+    pub fn addr(&self, i: usize) -> Addr {
+        self.region.addr(i, 4)
+    }
+
+    fn tail_addr(&self) -> Addr {
+        self.header.addr_padded(0)
+    }
+
+    fn start_addr(&self) -> Addr {
+        self.header.addr_padded(1)
+    }
+
+    fn end_addr(&self) -> Addr {
+        self.header.addr_padded(2)
+    }
+
+    /// Claims `items.len()` contiguous slots with one shared RMW and
+    /// fills them. The entries become visible to consumers only after
+    /// the next [`SlidingQueue::slide`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue's fixed capacity would be exceeded.
+    pub fn push_chunk<C: ThreadCtx>(&self, ctx: &mut C, items: &[u32]) {
+        if items.is_empty() {
+            return;
+        }
+        ctx.rmw(self.tail_addr());
+        let base = self.tail.fetch_add(items.len() as u64, RMW) as usize;
+        assert!(
+            base + items.len() <= self.slots.len(),
+            "SlidingQueue overflow: {} + {} > capacity {}",
+            base,
+            items.len(),
+            self.slots.len()
+        );
+        for (k, &v) in items.iter().enumerate() {
+            ctx.store(self.addr(base + k));
+            self.slots[base + k].store(v, STORE);
+        }
+    }
+
+    /// Pushes a single entry (a one-element chunk).
+    pub fn push<C: ThreadCtx>(&self, ctx: &mut C, v: u32) {
+        self.push_chunk(ctx, &[v]);
+    }
+
+    /// Advances the window to cover everything pushed since the previous
+    /// slide: `start ← end`, `end ← tail`. Call from **one** thread
+    /// between barriers.
+    pub fn slide<C: ThreadCtx>(&self, ctx: &mut C) {
+        ctx.load(self.end_addr());
+        let old_end = self.end.load(LOAD);
+        ctx.store(self.start_addr());
+        self.start.store(old_end, STORE);
+        ctx.load(self.tail_addr());
+        let tail = self.tail.load(LOAD);
+        ctx.store(self.end_addr());
+        self.end.store(tail, STORE);
+    }
+
+    /// Reads the push cursor. Between a barrier and the next push the
+    /// value is stable, so level-synchronous kernels can read it once
+    /// per epoch and derive the drain window `[previous_tail, tail)`
+    /// thread-locally instead of broadcasting it through
+    /// [`SlidingQueue::slide`].
+    pub fn tail<C: ThreadCtx>(&self, ctx: &mut C) -> usize {
+        ctx.load(self.tail_addr());
+        self.tail.load(LOAD) as usize
+    }
+
+    /// The current drain window (slot indices). Entries in the window
+    /// were all published before the preceding [`SlidingQueue::slide`],
+    /// so reading them never races an in-flight push.
+    pub fn window<C: ThreadCtx>(&self, ctx: &mut C) -> std::ops::Range<usize> {
+        ctx.load(self.start_addr());
+        let start = self.start.load(LOAD) as usize;
+        ctx.load(self.end_addr());
+        let end = self.end.load(LOAD) as usize;
+        start..end
+    }
+
+    /// Reads slot `i` (must lie inside the current window).
+    #[inline]
+    pub fn get<C: ThreadCtx>(&self, ctx: &mut C, i: usize) -> u32 {
+        ctx.load(self.addr(i));
+        self.slots[i].load(LOAD)
+    }
+
+    /// Empties the queue (`tail = start = end = 0`), reclaiming all
+    /// capacity. Call from **one** thread between barriers.
+    pub fn reset<C: ThreadCtx>(&self, ctx: &mut C) {
+        ctx.store(self.tail_addr());
+        self.tail.store(0, STORE);
+        ctx.store(self.start_addr());
+        self.start.store(0, STORE);
+        ctx.store(self.end_addr());
+        self.end.store(0, STORE);
+    }
+
+    /// The window without a context (outside the timed region).
+    pub fn window_plain(&self) -> std::ops::Range<usize> {
+        self.start.load(LOAD) as usize..self.end.load(LOAD) as usize
+    }
+
+    /// Reads slot `i` without a context (outside the timed region).
+    pub fn get_plain(&self, i: usize) -> u32 {
+        self.slots[i].load(LOAD)
+    }
+
+    /// Seeds an entry without a context (initialization outside the
+    /// timed region), e.g. the BFS source vertex.
+    pub fn push_plain(&self, v: u32) {
+        let base = self.tail.fetch_add(1, RMW) as usize;
+        assert!(base < self.slots.len(), "SlidingQueue overflow");
+        self.slots[base].store(v, STORE);
+    }
+
+    /// Slides the window without a context (outside the timed region).
+    pub fn slide_plain(&self) {
+        let old_end = self.end.load(LOAD);
+        self.start.store(old_end, STORE);
+        self.end.store(self.tail.load(LOAD), STORE);
+    }
+}
+
 /// A read-only view of host data with symbolic addresses — used for the
 /// graph arrays, which every thread reads but none writes.
 ///
@@ -787,6 +987,72 @@ mod tests {
         assert!(!bitmap.get_plain(69));
         bitmap.set_plain(69);
         assert!(bitmap.get_plain(69));
+    }
+
+    #[test]
+    fn sliding_queue_windows_partition_pushes() {
+        // Epoch 1 pushes {10,11}, epoch 2 pushes {20,21,22}; each slide
+        // exposes exactly the entries of the finished epoch.
+        let q = SlidingQueue::new(8);
+        NativeMachine::new(1).run(|ctx| {
+            q.push_chunk(ctx, &[10, 11]);
+            q.slide(ctx);
+            let w = q.window(ctx);
+            assert_eq!(w.clone().count(), 2);
+            assert_eq!((q.get(ctx, w.start), q.get(ctx, w.start + 1)), (10, 11));
+            q.push(ctx, 20);
+            q.push_chunk(ctx, &[21, 22]);
+            q.slide(ctx);
+            let w = q.window(ctx);
+            assert_eq!(w, 2..5);
+            assert_eq!(q.get(ctx, 4), 22);
+            q.slide(ctx);
+            assert!(q.window(ctx).is_empty(), "no pushes -> empty window");
+            q.reset(ctx);
+            assert!(q.window(ctx).is_empty());
+            q.push(ctx, 7);
+            q.slide(ctx);
+            assert_eq!(q.window(ctx), 0..1, "reset reclaims capacity");
+        });
+    }
+
+    #[test]
+    fn sliding_queue_concurrent_chunked_pushes_lose_nothing() {
+        // 8 threads each chunk-push a disjoint value range; after one
+        // slide the window must hold every value exactly once.
+        let threads = 8;
+        let per_thread = 100;
+        let q = SlidingQueue::new(threads * per_thread);
+        NativeMachine::new(threads).run(|ctx| {
+            let tid = ctx.thread_id();
+            let vals: Vec<u32> =
+                (0..per_thread).map(|k| (tid * per_thread + k) as u32).collect();
+            // Two chunks per thread, to exercise interleaved claims.
+            q.push_chunk(ctx, &vals[..per_thread / 2]);
+            q.push_chunk(ctx, &vals[per_thread / 2..]);
+            ctx.barrier();
+            if tid == 0 {
+                q.slide(ctx);
+            }
+        });
+        let w = q.window_plain();
+        assert_eq!(w.clone().count(), threads * per_thread);
+        let mut seen = vec![false; threads * per_thread];
+        for i in w {
+            let v = q.get_plain(i) as usize;
+            assert!(!seen[v], "value {v} appears twice");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every value drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "SlidingQueue overflow")]
+    fn sliding_queue_overflow_panics() {
+        let q = SlidingQueue::new(2);
+        NativeMachine::new(1).run(|ctx| {
+            q.push_chunk(ctx, &[1, 2, 3]);
+        });
     }
 
     #[test]

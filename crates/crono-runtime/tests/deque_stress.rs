@@ -140,6 +140,76 @@ fn pool_spawning_workload_terminates_exactly() {
     }
 }
 
+/// Bulk stealing under contention: one owner keeps a deep deque while
+/// every other thread drains it through `steal_half`, repatriating the
+/// surplus into its own deque and popping that locally. No task may be
+/// lost or seen twice, whatever the interleaving of top CASes, owner
+/// pops, and concurrent bulk thieves.
+#[test]
+fn steal_half_under_contention_loses_and_duplicates_nothing() {
+    for &threads in &[2usize, 4, 8, 16] {
+        let tasks: u64 = 10_000;
+        let machine = NativeMachine::new(threads);
+        let victim = WorkDeque::new(2048);
+        let locals: Vec<WorkDeque> = (0..threads).map(|_| WorkDeque::new(2048)).collect();
+        let seen = SharedU64s::new(tasks as usize);
+        let done = SharedU64s::new(1);
+        machine.run(|ctx| {
+            let tid = ctx.thread_id();
+            if tid == 0 {
+                // Owner: keep the deque deep (push bursts), pop some.
+                let mut state = 77 + threads as u64;
+                let mut next = 0u64;
+                while next < tasks {
+                    for _ in 0..64 {
+                        if next < tasks && victim.push(ctx, next) {
+                            next += 1;
+                        }
+                    }
+                    if mix(&mut state) % 4 == 0 {
+                        if let Some(task) = victim.pop(ctx) {
+                            seen.fetch_add(ctx, task as usize, 1);
+                        }
+                    }
+                }
+                while let Some(task) = victim.pop(ctx) {
+                    seen.fetch_add(ctx, task as usize, 1);
+                }
+                done.set(ctx, 0, 1);
+            } else {
+                let mine = &locals[tid];
+                loop {
+                    match victim.steal_half(ctx, mine) {
+                        Steal::Taken(task) => {
+                            seen.fetch_add(ctx, task as usize, 1);
+                            while let Some(t) = mine.pop(ctx) {
+                                seen.fetch_add(ctx, t as usize, 1);
+                            }
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.get(ctx, 0) == 1 && victim.is_empty() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        let counts = seen.to_vec();
+        let bad: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 1)
+            .take(8)
+            .collect();
+        assert!(
+            bad.is_empty(),
+            "threads={threads}: tasks seen != once (task, count): {bad:?}"
+        );
+    }
+}
+
 /// `SharedU64s::fetch_min` must behave like an atomic min: under
 /// concurrent publication of seeded candidate bounds, the final value is
 /// the global minimum, and each thread's *returned previous value* never

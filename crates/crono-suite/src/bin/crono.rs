@@ -57,9 +57,10 @@ COMMANDS:
   fig8     OOO speedups
   fig9     Real-machine speedups (native threads)
   ablation Optimized kernel variants vs defaults (frontier_repr,
-           pagerank_update, task_steal, lockfree_bound) across thread
-           counts; --ablation NAME restricts to one group, --backend
-           native compares wall-clock + MTEPS on the real machine
+           pagerank_update, task_steal, lockfree_bound, dirop_bfs,
+           delta_sssp, afforest_cc) across thread counts; --ablation
+           NAME restricts to one group, --backend native compares
+           wall-clock + MTEPS on the real machine
   compare  Paper-vs-measured best speedups + qualitative claims
   all      Everything above (shares simulator sweeps)
   trace    One traced run -> Chrome trace JSON (Perfetto-loadable)

@@ -15,7 +15,7 @@ use crate::runner::{run_parallel, run_parallel_ablated};
 use crate::scale::Scale;
 use crate::workload::Workload;
 use crono_algos::{Ablation, Benchmark};
-use crono_graph::gen::road_network;
+use crono_graph::gen::{rmat, road_network, RmatParams};
 use crono_runtime::NativeMachine;
 use crono_sim::{SimConfig, SimMachine};
 
@@ -30,9 +30,20 @@ pub const CORE_SWEEP: [usize; 5] = [1, 4, 16, 64, 256];
 /// *timing* is schedule-sensitive (stealing order, bound arrival), so
 /// determinism is what makes two `crono ablation` invocations
 /// byte-identical, per-cell repeats redundant, and the CI `cmp` gate
-/// possible. The PR-3 groups keep the cheaper lax mode + median-of-3.
+/// possible. The GAP-class kernels (direction-optimizing BFS,
+/// delta-stepping, Afforest) are likewise schedule-sensitive — frontier
+/// claim order, bucket membership, and CAS hook races all move work
+/// between threads — so they run deterministic too. The PR-3 groups
+/// keep the cheaper lax mode + median-of-3.
 fn deterministic_group(ablation: Ablation) -> bool {
-    matches!(ablation, Ablation::TaskSteal | Ablation::LockfreeBound)
+    matches!(
+        ablation,
+        Ablation::TaskSteal
+            | Ablation::LockfreeBound
+            | Ablation::DiropBfs
+            | Ablation::DeltaSssp
+            | Ablation::AfforestCc
+    )
 }
 
 /// One table: per (ablation, benchmark), completion cycles of the
@@ -179,6 +190,83 @@ pub fn generate_resumable(
             format!("{}/road", Benchmark::ConnComp.label()),
             &road,
         );
+    }
+    // Direction-optimizing BFS targets low-diameter skewed graphs, where
+    // pull levels stop hammering shared frontier lines — the synthetic
+    // uniform workload above undersells it, so it is additionally
+    // compared on an R-MAT graph, with the two counters the optimization
+    // is *about* (L1 sharing misses and total NoC flit-hops) tabulated
+    // alongside the completion rows.
+    if filter.is_none() || filter == Some(Ablation::DiropBfs) {
+        let rmat_w = {
+            let lg = scale.sparse_vertices.next_power_of_two().trailing_zeros();
+            let mut rw = Workload::synthetic(scale);
+            rw.graph = rmat(lg, scale.sparse_edges, 4, RmatParams::default(), 13);
+            rw
+        };
+        let bench_label = format!("{}/rmat", Benchmark::Bfs.label());
+        emit(Ablation::DiropBfs, Benchmark::Bfs, bench_label.clone(), &rmat_w);
+        // Counter comparison: one deterministic run per cell (the same
+        // run would already be byte-identical under the sequencer, so
+        // repeats are redundant here too).
+        let mut cells: Vec<[u64; 4]> = Vec::new();
+        for &t in &threads {
+            let key = format!(
+                "ablation|dirop_bfs|{bench_label}:ctr|v{}|c{}|t{t}",
+                rmat_w.graph.num_vertices(),
+                config.num_cores
+            );
+            if let Some(cell) = ckpt.as_deref().and_then(|c| c.get(&key)) {
+                let nums: Vec<u64> =
+                    cell.split(' ').filter_map(|x| x.parse().ok()).collect();
+                if let Ok(arr) = <[u64; 4]>::try_from(nums) {
+                    if progress {
+                        eprintln!("[ablation] dirop_bfs/{bench_label} counters: {t} threads (resumed)");
+                    }
+                    cells.push(arr);
+                    continue;
+                }
+            }
+            if progress {
+                eprintln!("[ablation] dirop_bfs/{bench_label} counters: {t} threads");
+            }
+            let machine = || SimMachine::new(config.clone(), t).deterministic();
+            let base = run_parallel(Benchmark::Bfs, &machine(), &rmat_w);
+            let opt =
+                run_parallel_ablated(Benchmark::Bfs, &machine(), &rmat_w, Some(Ablation::DiropBfs));
+            let arr = [
+                base.misses.sharing_misses,
+                opt.misses.sharing_misses,
+                base.energy.router_flit_hops + base.energy.link_flit_hops,
+                opt.energy.router_flit_hops + opt.energy.link_flit_hops,
+            ];
+            if let Some(c) = ckpt.as_deref_mut() {
+                let val = format!("{} {} {} {}", arr[0], arr[1], arr[2], arr[3]);
+                if let Err(e) = c.record(&key, &val) {
+                    eprintln!(
+                        "warning: could not checkpoint {key} to {}: {e}",
+                        c.path().display()
+                    );
+                }
+            }
+            cells.push(arr);
+        }
+        let mut counter_row = |kernel: &str, pick: &dyn Fn(&[u64; 4]) -> String| {
+            let mut row = vec![
+                Ablation::DiropBfs.name().to_string(),
+                bench_label.clone(),
+                kernel.to_string(),
+            ];
+            row.extend(cells.iter().map(pick));
+            table.push_row(row);
+        };
+        let ratio = |d: u64, o: u64| if o == 0 { f2(0.0) } else { f2(d as f64 / o as f64) };
+        counter_row("default:l1_sharing", &|c| c[0].to_string());
+        counter_row("optimized:l1_sharing", &|c| c[1].to_string());
+        counter_row("reduction:l1_sharing", &|c| ratio(c[0], c[1]));
+        counter_row("default:noc_flits", &|c| c[2].to_string());
+        counter_row("optimized:noc_flits", &|c| c[3].to_string());
+        counter_row("reduction:noc_flits", &|c| ratio(c[2], c[3]));
     }
     table
 }
@@ -347,9 +435,10 @@ mod tests {
         let scale = Scale::test();
         let config = SimConfig::tiny(16);
         let t = generate(&scale, &config, false);
-        // 8 ablated benchmarks + the road-network CONN_COMP comparison,
-        // 3 rows each (default / optimized / speedup).
-        assert_eq!(t.rows.len(), 27);
+        // 11 ablated benchmarks + the road-network CONN_COMP and R-MAT
+        // BFS comparisons, 3 rows each (default / optimized / speedup),
+        // plus 6 counter rows for the direction-optimizing BFS group.
+        assert_eq!(t.rows.len(), 45);
         // tiny(16) caps the canonical sweep at [1, 4, 16].
         let swept = CORE_SWEEP.iter().filter(|&&t| t <= 16).count();
         for row in &t.rows {
@@ -389,6 +478,38 @@ mod tests {
         let t = generate_resumable(&scale, &config, Some(Ablation::LockfreeBound), false, None);
         assert_eq!(t.rows.len(), 3, "TSP only: default/optimized/speedup");
         assert!(t.rows.iter().all(|r| r[0] == "lockfree_bound" && r[1] == "TSP"));
+    }
+
+    /// The direction-optimizing BFS group carries the R-MAT comparison
+    /// and its counter rows: completion on the uniform workload (3) +
+    /// completion on R-MAT (3) + sharing-miss and flit-hop rows (6).
+    #[test]
+    fn dirop_group_tabulates_rmat_counters() {
+        let scale = Scale::test();
+        let config = SimConfig::tiny(16);
+        let t = generate_resumable(&scale, &config, Some(Ablation::DiropBfs), false, None);
+        assert_eq!(t.rows.len(), 12);
+        assert!(t.rows.iter().all(|r| r[0] == "dirop_bfs"));
+        let kernels: Vec<&str> = t
+            .rows
+            .iter()
+            .filter(|r| r[1] == "BFS/rmat")
+            .map(|r| r[2].as_str())
+            .collect();
+        assert_eq!(
+            kernels,
+            vec![
+                "default",
+                "optimized",
+                "speedup",
+                "default:l1_sharing",
+                "optimized:l1_sharing",
+                "reduction:l1_sharing",
+                "default:noc_flits",
+                "optimized:noc_flits",
+                "reduction:noc_flits",
+            ]
+        );
     }
 
     /// Determinism must hold across *processes* (that is how `crono

@@ -64,6 +64,15 @@ pub fn run_parallel_ablated<M: Machine>(
         (Some(Ablation::LockfreeBound), Benchmark::Tsp) => {
             tsp::parallel_lockfree(machine, &w.tsp).report
         }
+        (Some(Ablation::DiropBfs), Benchmark::Bfs) => {
+            bfs::parallel_dirop(machine, &w.graph, w.source).report
+        }
+        (Some(Ablation::DeltaSssp), Benchmark::SsspDijk) => {
+            sssp::parallel_delta(machine, &w.graph, w.source).report
+        }
+        (Some(Ablation::AfforestCc), Benchmark::ConnComp) => {
+            connected::parallel_afforest(machine, &w.graph).report
+        }
         _ => run_parallel(bench, machine, w),
     }
 }

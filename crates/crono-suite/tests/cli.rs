@@ -322,6 +322,42 @@ fn unwritable_out_directory_fails_cleanly() {
     assert_clean_failure(&out);
 }
 
+/// An unknown `--ablation` name must fail with a one-line diagnostic
+/// that lists every valid name, for both the `ablation` and `trace`
+/// subcommands — new ablation variants surface automatically because
+/// the message is built from `Ablation::ALL`.
+#[test]
+fn unknown_ablation_lists_valid_names() {
+    for args in [
+        vec!["ablation", "--ablation", "frobnicate", "--scale", "test"],
+        vec![
+            "trace",
+            "--bench",
+            "bfs",
+            "--ablation",
+            "frobnicate",
+            "--scale",
+            "test",
+        ],
+    ] {
+        let out = crono().args(&args).output().expect("binary runs");
+        assert_clean_failure(&out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown ablation"), "{stderr}");
+        for name in [
+            "frontier_repr",
+            "pagerank_update",
+            "task_steal",
+            "lockfree_bound",
+            "dirop_bfs",
+            "delta_sssp",
+            "afforest_cc",
+        ] {
+            assert!(stderr.contains(name), "missing {name} in: {stderr}");
+        }
+    }
+}
+
 #[test]
 fn ablation_resume_requires_out() {
     let out = crono()

@@ -82,16 +82,18 @@ echo "==> trace-diff smoke test"
 echo "trace-diff OK: identical configs produce a zero counter delta"
 
 echo "==> ablation kernel-variant smoke runs"
-# One optimized variant per task-parallel kernel (PR-5): each traced run
-# must complete and produce a parseable Chrome trace.
+# One optimized variant per task-parallel kernel (PR-5) and per
+# GAP-class kernel (PR-8): each traced run must complete and produce a
+# parseable Chrome trace.
 for pair in "apsp task_steal" "betw_cent task_steal" "dfs task_steal" \
-            "tsp lockfree_bound"; do
+            "tsp lockfree_bound" "bfs dirop_bfs" "sssp_dijk delta_sssp" \
+            "conn_comp afforest_cc"; do
   set -- $pair
   ./target/release/crono trace --bench "$1" --ablation "$2" --scale test \
     --threads 4 --quiet --out "$trace_out/abl-$1.json"
   grep -q '"traceEvents"' "$trace_out/abl-$1.json"
 done
-echo "ablation smokes OK: task_steal + lockfree_bound variants traced"
+echo "ablation smokes OK: all opt-in kernel variants traced"
 
 echo "==> lock-free TSP lock_hold gate"
 # The paper-faithful TSP serializes on the bound lock; the lock-free
@@ -121,13 +123,30 @@ echo "heatmap OK: rectangular per-router TSV"
 echo "==> ablation determinism gate"
 # The deterministic ablation groups must be byte-identical across fresh
 # processes (seeded stealing order, sequenced schedule).
-./target/release/crono ablation --ablation lockfree_bound --scale test \
-  --quiet --out "$trace_out/abl-run-a" >/dev/null
-./target/release/crono ablation --ablation lockfree_bound --scale test \
-  --quiet --out "$trace_out/abl-run-b" >/dev/null
-cmp "$trace_out/abl-run-a/ablation_kernels.tsv" \
-    "$trace_out/abl-run-b/ablation_kernels.tsv"
-echo "ablation determinism OK: two runs byte-identical"
+for group in lockfree_bound dirop_bfs; do
+  ./target/release/crono ablation --ablation "$group" --scale test \
+    --quiet --out "$trace_out/abl-run-$group-a" >/dev/null
+  ./target/release/crono ablation --ablation "$group" --scale test \
+    --quiet --out "$trace_out/abl-run-$group-b" >/dev/null
+  cmp "$trace_out/abl-run-$group-a/ablation_kernels.tsv" \
+      "$trace_out/abl-run-$group-b/ablation_kernels.tsv"
+done
+echo "ablation determinism OK: two runs byte-identical per group"
+
+echo "==> direction-optimizing BFS NoC-traffic gate"
+# The dirop_bfs group tabulates simulated sharing misses and NoC flits
+# on the R-MAT workload. Bottom-up levels replace the push phase's
+# scattered parent CASes with owner-local pulls, so at 64 simulated
+# cores the optimized kernel must move strictly fewer flits (and take
+# strictly fewer sharing misses) than the paper-faithful default.
+dirop_tsv="$trace_out/abl-run-dirop_bfs-a/ablation_kernels.tsv"
+awk -F'\t' '$2 == "BFS/rmat" && $3 == "default:noc_flits"   { d = $7 }
+            $2 == "BFS/rmat" && $3 == "optimized:noc_flits" { o = $7 }
+            END { exit !(d + 0 > 0 && o + 0 > 0 && o + 0 < d + 0) }' "$dirop_tsv"
+awk -F'\t' '$2 == "BFS/rmat" && $3 == "default:l1_sharing"   { d = $7 }
+            $2 == "BFS/rmat" && $3 == "optimized:l1_sharing" { o = $7 }
+            END { exit !(d + 0 > 0 && o + 0 < d + 0) }' "$dirop_tsv"
+echo "dirop NoC gate OK: fewer flits and sharing misses at 64 cores"
 
 echo "==> fault-injection smoke test"
 # The quick sweep must produce a TSV whose non-zero-rate row actually
