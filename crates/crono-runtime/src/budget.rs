@@ -115,6 +115,10 @@ impl<C: ThreadCtx> ThreadCtx for BudgetCtx<'_, C> {
         self.inner.instructions()
     }
 
+    fn cycles(&self) -> u64 {
+        self.inner.cycles()
+    }
+
     fn span_begin(&mut self, name: &'static str) {
         self.inner.span_begin(name);
     }
@@ -136,6 +140,10 @@ impl<C: ThreadCtx> ThreadCtx for BudgetCtx<'_, C> {
     /// never change what a run *would* have charged.
     fn cancelled(&self) -> bool {
         self.inner.cancelled() || self.exhausted()
+    }
+
+    fn departed(&self) -> bool {
+        self.inner.departed()
     }
 }
 

@@ -31,6 +31,10 @@ struct GateState {
     cause: Option<CancelCause>,
     arrived: usize,
     generation: u64,
+    /// Workers the barrier currently waits for. Starts at the run's
+    /// thread count; a permanently departed worker ([`RunGate::depart`])
+    /// shrinks it, re-sizing every subsequent barrier to the survivors.
+    expected: usize,
     /// Set by the backend after all workers joined; releases the watchdog.
     done: bool,
 }
@@ -39,7 +43,6 @@ struct GateState {
 /// every worker of one run.
 #[derive(Debug)]
 pub struct RunGate {
-    threads: usize,
     /// Fast-path mirror of `cause.is_some()` for per-iteration polling.
     flag: AtomicBool,
     state: Mutex<GateState>,
@@ -50,12 +53,12 @@ impl RunGate {
     /// A gate for a run of `threads` workers.
     pub fn new(threads: usize) -> Self {
         RunGate {
-            threads,
             flag: AtomicBool::new(false),
             state: Mutex::new(GateState {
                 cause: None,
                 arrived: 0,
                 generation: 0,
+                expected: threads,
                 done: false,
             }),
             cv: Condvar::new(),
@@ -93,15 +96,17 @@ impl RunGate {
         true
     }
 
-    /// Waits until all `threads` workers arrive (returns `true`) or the
-    /// run is cancelled (returns `false`, immediately once cancelled).
+    /// Waits until all currently-expected workers arrive (returns
+    /// `true`) or the run is cancelled (returns `false`, immediately
+    /// once cancelled). A departed worker no longer counts toward the
+    /// barrier.
     pub fn barrier_wait(&self) -> bool {
         let mut s = self.lock();
         if s.cause.is_some() {
             return false;
         }
         s.arrived += 1;
-        if s.arrived == self.threads {
+        if s.arrived >= s.expected {
             s.arrived = 0;
             s.generation += 1;
             self.cv.notify_all();
@@ -112,6 +117,28 @@ impl RunGate {
             s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
         }
         s.cause.is_none()
+    }
+
+    /// Permanently removes one worker from the barrier population (a
+    /// disabled core): every subsequent barrier waits only for the
+    /// survivors, and a generation whose last missing arrival was the
+    /// departing worker is released immediately. Unlike
+    /// [`RunGate::cancel`] the run stays healthy — survivors keep
+    /// computing rather than draining out.
+    pub fn depart(&self) {
+        let mut s = self.lock();
+        s.expected = s.expected.saturating_sub(1);
+        if s.expected > 0 && s.arrived >= s.expected {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Workers the barrier currently waits for (shrinks as workers
+    /// depart).
+    pub fn expected(&self) -> usize {
+        self.lock().expected
     }
 
     /// Marks the run finished (all workers joined); releases the
@@ -200,6 +227,50 @@ mod tests {
         // Subsequent waits return immediately.
         assert!(!gate.barrier_wait());
         assert_eq!(gate.cause(), Some(CancelCause::WorkerPanic));
+    }
+
+    #[test]
+    fn depart_resizes_the_barrier_to_survivors() {
+        let gate = Arc::new(RunGate::new(3));
+        assert_eq!(gate.expected(), 3);
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || gate.barrier_wait())
+                })
+                .collect();
+            // The third worker dies permanently instead of arriving: the
+            // two parked survivors must be released with `true`.
+            std::thread::sleep(Duration::from_millis(10));
+            gate.depart();
+            waiters.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results, vec![true, true], "survivors pass, not cancel");
+        assert_eq!(gate.expected(), 2);
+        // Subsequent barriers need only the two survivors.
+        let passed: Vec<bool> = std::thread::scope(|scope| {
+            (0..2)
+                .map(|_| {
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || gate.barrier_wait())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(passed, vec![true, true]);
+    }
+
+    #[test]
+    fn depart_before_any_arrival_only_shrinks() {
+        let gate = RunGate::new(2);
+        gate.depart();
+        assert_eq!(gate.expected(), 1);
+        // The lone survivor sails through every barrier.
+        assert!(gate.barrier_wait());
+        assert!(gate.barrier_wait());
     }
 
     #[test]

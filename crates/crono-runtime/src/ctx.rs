@@ -63,6 +63,19 @@ pub trait ThreadCtx {
     /// load-imbalance metric is instruction-based, §IV-E).
     fn instructions(&self) -> u64;
 
+    /// This thread's position on the backend's *time* axis. The
+    /// simulator returns its per-thread cycle clock, so a delta around a
+    /// kernel includes memory latency, NoC contention, and fault-induced
+    /// detours or re-homed DRAM queueing — work that retires no extra
+    /// instructions but costs real time. The native backend has no cycle
+    /// clock; there the default ([`ThreadCtx::instructions`]) stands in,
+    /// which is what the serving engine's modeled latencies were always
+    /// built on.
+    #[inline(always)]
+    fn cycles(&self) -> u64 {
+        self.instructions()
+    }
+
     /// Opens a named trace span (an algorithm phase such as a BFS level
     /// or a PageRank iteration). Must be closed by a matching
     /// [`ThreadCtx::span_end`] on the same thread, in stack order.
@@ -97,6 +110,18 @@ pub trait ThreadCtx {
     /// backend without cancellation support never cancels).
     #[inline(always)]
     fn cancelled(&self) -> bool {
+        false
+    }
+
+    /// Whether this thread's core has permanently died (a disabled-core
+    /// fault). Unlike [`ThreadCtx::cancelled`] — which drains the whole
+    /// run — a departed thread stops taking work while the survivors
+    /// keep computing: the task pool returns `None` from its take loops
+    /// at the next task boundary, and the surviving threads steal the
+    /// departed core's queued tasks. Default `false` (a backend without
+    /// permanent faults never departs).
+    #[inline(always)]
+    fn departed(&self) -> bool {
         false
     }
 

@@ -551,6 +551,13 @@ impl TaskPool {
     /// [`TaskPool::complete`] instead.
     pub fn take_fixed<C: ThreadCtx>(&self, ctx: &mut C) -> Option<u64> {
         let tid = ctx.thread_id();
+        // A permanently dead core stops taking work at the task
+        // boundary; whatever is left in its deque is stolen by the
+        // survivors' probe rounds (they exit only when every deque they
+        // probe is empty).
+        if ctx.departed() {
+            return None;
+        }
         // A deal of at most one task per deque has no backlogs to
         // balance (see `max_depth`): nothing is ever stolen, so pops
         // use the private fast path, and emptiness is terminal without
@@ -588,6 +595,14 @@ impl TaskPool {
     pub fn take<C: ThreadCtx>(&self, ctx: &mut C) -> Option<u64> {
         let mut backoff = IDLE_BACKOFF_MIN;
         loop {
+            // A permanently dead core departs at the task boundary; the
+            // survivors' take loops keep running until the outstanding
+            // count — including the dead core's queued tasks, which they
+            // steal — reaches zero, so every task still runs exactly
+            // once.
+            if ctx.departed() {
+                return None;
+            }
             if let Some(task) = self.try_take(ctx) {
                 // Account completion eagerly for the non-spawning use
                 // (fixed task sets): callers that spawn children use

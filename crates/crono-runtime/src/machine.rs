@@ -5,7 +5,10 @@ use std::time::Duration;
 /// backend's [`RunReport`].
 #[derive(Debug, Clone)]
 pub struct RunOutcome<R> {
-    /// `body`'s return value per thread, indexed by thread id.
+    /// `body`'s return value per thread, in thread-id order. Indexing
+    /// by thread id is valid except under a permanent disabled-core
+    /// fault: a worker that departed mid-run contributes no entry, so
+    /// the vector is then shorter than the thread count.
     pub per_thread: Vec<R>,
     /// Timing/characterization report from the backend.
     pub report: RunReport,
@@ -45,6 +48,18 @@ pub enum RunError {
         /// Partial report covering every worker.
         report: RunReport,
     },
+    /// The backend's interconnect had no legal route for a message — a
+    /// permanent dead-link fault the active routing policy cannot avoid
+    /// (XY dimension-ordered routing cannot detour). The run was
+    /// cancelled cleanly: survivors drained out, no hang.
+    Unroutable {
+        /// Thread id of the worker whose message was undeliverable.
+        tid: usize,
+        /// The backend's route-error description.
+        detail: String,
+        /// Partial report covering every worker.
+        report: RunReport,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -56,6 +71,9 @@ impl std::fmt::Display for RunError {
             RunError::TimedOut { timeout, .. } => {
                 write!(f, "run cancelled after exceeding the {timeout:?} timeout")
             }
+            RunError::Unroutable { tid, detail, .. } => {
+                write!(f, "worker thread {tid}: {detail}")
+            }
         }
     }
 }
@@ -66,7 +84,9 @@ impl RunError {
     /// The partial [`RunReport`] of the failed run.
     pub fn report(&self) -> &RunReport {
         match self {
-            RunError::WorkerPanicked { report, .. } | RunError::TimedOut { report, .. } => report,
+            RunError::WorkerPanicked { report, .. }
+            | RunError::TimedOut { report, .. }
+            | RunError::Unroutable { report, .. } => report,
         }
     }
 }

@@ -170,6 +170,16 @@ pub struct FaultCounters {
     pub core_stalls: u64,
     /// Total cycles lost to core stall events.
     pub core_stall_cycles: u64,
+    /// Messages re-routed around a permanently dead NoC link (dimension-
+    /// order flips and sidesteps).
+    pub noc_detours: u64,
+    /// Extra hops those detours paid beyond the Manhattan distance.
+    pub noc_detour_hops: u64,
+    /// DRAM accesses re-homed off a permanently dead controller onto a
+    /// survivor.
+    pub dram_rehomed: u64,
+    /// Cores permanently lost to dead-core faults during the run.
+    pub cores_lost: u64,
 }
 
 impl FaultCounters {
@@ -180,11 +190,22 @@ impl FaultCounters {
         self.dram_ecc_detected += other.dram_ecc_detected;
         self.core_stalls += other.core_stalls;
         self.core_stall_cycles += other.core_stall_cycles;
+        self.noc_detours += other.noc_detours;
+        self.noc_detour_hops += other.noc_detour_hops;
+        self.dram_rehomed += other.dram_rehomed;
+        self.cores_lost += other.cores_lost;
     }
 
-    /// Total number of injected fault events.
+    /// Total number of injected fault events (transient injections plus
+    /// permanent-fault recovery actions).
     pub fn total_events(&self) -> u64 {
-        self.noc_retransmits + self.dram_ecc_corrected + self.dram_ecc_detected + self.core_stalls
+        self.noc_retransmits
+            + self.dram_ecc_corrected
+            + self.dram_ecc_detected
+            + self.core_stalls
+            + self.noc_detours
+            + self.dram_rehomed
+            + self.cores_lost
     }
 }
 

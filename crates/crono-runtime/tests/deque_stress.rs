@@ -7,7 +7,9 @@
 //! and the `fetch_min` bound primitive the lock-free TSP publishes
 //! through. Every run is seeded; failures reproduce.
 
-use crono_runtime::{Machine, NativeMachine, SharedU64s, Steal, TaskPool, ThreadCtx, WorkDeque};
+use crono_runtime::{
+    Addr, LockSet, Machine, NativeMachine, SharedU64s, Steal, TaskPool, ThreadCtx, WorkDeque,
+};
 
 /// splitmix64, for seeded per-test task values.
 fn mix(state: &mut u64) -> u64 {
@@ -196,6 +198,111 @@ fn steal_half_under_contention_loses_and_duplicates_nothing() {
                 }
             }
         });
+        let counts = seen.to_vec();
+        let bad: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 1)
+            .take(8)
+            .collect();
+        assert!(
+            bad.is_empty(),
+            "threads={threads}: tasks seen != once (task, count): {bad:?}"
+        );
+    }
+}
+
+/// A delegating context that permanently departs on command — the
+/// runtime-level contract of [`ThreadCtx::departed`] without needing a
+/// simulated machine: once `dead` flips, the pool must return `None` to
+/// this thread at the next task boundary while the survivors keep
+/// draining.
+struct DyingCtx<'a, C: ThreadCtx> {
+    inner: &'a mut C,
+    dead: bool,
+}
+
+impl<C: ThreadCtx> ThreadCtx for DyingCtx<'_, C> {
+    fn thread_id(&self) -> usize {
+        self.inner.thread_id()
+    }
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+    fn load(&mut self, addr: Addr) {
+        self.inner.load(addr)
+    }
+    fn store(&mut self, addr: Addr) {
+        self.inner.store(addr)
+    }
+    fn rmw(&mut self, addr: Addr) {
+        self.inner.rmw(addr)
+    }
+    fn compute(&mut self, cycles: u32) {
+        self.inner.compute(cycles)
+    }
+    fn lock(&mut self, set: &LockSet, idx: usize) {
+        self.inner.lock(set, idx)
+    }
+    fn unlock(&mut self, set: &LockSet, idx: usize) {
+        self.inner.unlock(set, idx)
+    }
+    fn barrier(&mut self) {
+        self.inner.barrier()
+    }
+    fn record_active(&mut self, active: u64) {
+        self.inner.record_active(active)
+    }
+    fn instructions(&self) -> u64 {
+        self.inner.instructions()
+    }
+    fn departed(&self) -> bool {
+        self.dead
+    }
+}
+
+/// A mid-run core death: one thread departs after a few takes, leaving
+/// most of its seeded deque behind. The survivors' take loops — driven
+/// by the outstanding counter — must steal and run the dead core's
+/// queued tasks exactly once, and the dead thread must get `None` at
+/// its next task boundary (never a task, never a hang).
+#[test]
+fn departed_core_backlog_drains_exactly_once_on_survivors() {
+    for &threads in &[2usize, 4, 8] {
+        let tasks: u64 = 4_000;
+        let machine = NativeMachine::new(threads);
+        let pool = TaskPool::new(threads, 8192, 21 + threads as u64);
+        for t in 0..tasks {
+            assert!(pool.push_plain((t % threads as u64) as usize, t));
+        }
+        let seen = SharedU64s::new(tasks as usize);
+        let outcome = machine.run(|ctx| {
+            let dies = ctx.thread_id() == 1;
+            let mut ctx = DyingCtx {
+                inner: ctx,
+                dead: false,
+            };
+            let mut taken = 0u64;
+            while let Some(task) = pool.take(&mut ctx) {
+                seen.fetch_add(&mut ctx, task as usize, 1);
+                taken += 1;
+                if dies && taken == 3 {
+                    // The task just taken still finishes (it already
+                    // ran above); departure lands at the next boundary.
+                    ctx.dead = true;
+                }
+            }
+            taken
+        });
+        // At most 3: the dead thread stops at its 3rd take (it may take
+        // fewer when the survivors drain everything first — native
+        // threads race the pool for real).
+        assert!(
+            outcome.per_thread[1] <= 3,
+            "threads={threads}: the dead thread took {} tasks past its death",
+            outcome.per_thread[1]
+        );
+        assert_eq!(outcome.per_thread.iter().sum::<u64>(), tasks);
         let counts = seen.to_vec();
         let bad: Vec<_> = counts
             .iter()

@@ -29,6 +29,95 @@
 //! early-return before hashing anything, so a zero-rate plan is
 //! *timing-invariant* — it reproduces the fault-free golden counters
 //! exactly (guarded by a test in `crono-suite`).
+//!
+//! Beyond the transient classes, a plan may carry *permanent* faults —
+//! components that die at a seeded cycle and stay dead for the rest of
+//! the run ([`DeadLink`], [`DeadCore`], [`DeadDramCtrl`]). Activation is
+//! a pure comparison of the observing thread's simulated clock against
+//! the fault's `at_cycle`, so permanent faults inherit the same
+//! determinism guarantees: no RNG state, no cross-site interference, and
+//! a fault armed at `u64::MAX` (or absent) is timing-invisible.
+
+/// Compass direction of a router's outgoing mesh link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Toward higher column (`col + 1`).
+    East,
+    /// Toward lower column (`col - 1`).
+    West,
+    /// Toward higher row (`row + 1`).
+    South,
+    /// Toward lower row (`row - 1`).
+    North,
+}
+
+impl LinkDir {
+    /// Short lowercase name for reports and CLI messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkDir::East => "east",
+            LinkDir::West => "west",
+            LinkDir::South => "south",
+            LinkDir::North => "north",
+        }
+    }
+}
+
+/// A mesh link that fails permanently at a seeded cycle: the outgoing
+/// link of `router` in direction `dir` drops every flit from `at_cycle`
+/// on. Adaptive routing detours around it; XY dimension-ordered routing
+/// cannot and reports a typed error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadLink {
+    /// Core/router id owning the outgoing link.
+    pub router: usize,
+    /// Direction of the failed outgoing link.
+    pub dir: LinkDir,
+    /// First simulated cycle at which the link is dead.
+    pub at_cycle: u64,
+}
+
+/// A core that is disabled permanently at a seeded cycle. The runtime
+/// treats it as *departed*, not hung: its task deque is drained by the
+/// surviving threads and barriers re-size to the survivor set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadCore {
+    /// Core id that dies.
+    pub core: usize,
+    /// First simulated cycle at which the core is dead (it departs at
+    /// its next task or barrier boundary at or after this cycle).
+    pub at_cycle: u64,
+}
+
+/// A DRAM controller that fails permanently at a seeded cycle. Its
+/// address ranges are re-homed onto the survivors: accesses pay a
+/// one-time migration surcharge inside a bounded window after death and
+/// permanently higher queueing pressure afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadDramCtrl {
+    /// Controller index that dies.
+    pub ctrl: usize,
+    /// First simulated cycle at which the controller is dead.
+    pub at_cycle: u64,
+}
+
+/// A [`FaultPlan`] parameter rejected by [`FaultPlan::validate`], with
+/// the offending field named in the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// Name of the rejected field.
+    pub field: &'static str,
+    /// One-line human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// Outcome of the ECC check on one DRAM access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +152,12 @@ pub struct FaultPlan {
     pub stall_cycles: u64,
     /// Width in cycles of the stall-decision windows.
     pub stall_window: u64,
+    /// Permanently failed mesh link, if any.
+    pub dead_link: Option<DeadLink>,
+    /// Permanently disabled core, if any.
+    pub dead_core: Option<DeadCore>,
+    /// Permanently failed DRAM controller, if any.
+    pub dead_dram_ctrl: Option<DeadDramCtrl>,
 }
 
 /// splitmix64 finalizer — a well-mixed 64-bit hash step.
@@ -103,7 +198,38 @@ impl FaultPlan {
             stall_rate: 0.0,
             stall_cycles: 2_000,
             stall_window: 50_000,
+            dead_link: None,
+            dead_core: None,
+            dead_dram_ctrl: None,
         }
+    }
+
+    /// Arms a permanent dead-link fault (builder style).
+    pub fn with_dead_link(mut self, router: usize, dir: LinkDir, at_cycle: u64) -> Self {
+        self.dead_link = Some(DeadLink {
+            router,
+            dir,
+            at_cycle,
+        });
+        self
+    }
+
+    /// Arms a permanent dead-core fault (builder style).
+    pub fn with_dead_core(mut self, core: usize, at_cycle: u64) -> Self {
+        self.dead_core = Some(DeadCore { core, at_cycle });
+        self
+    }
+
+    /// Arms a permanent dead-DRAM-controller fault (builder style).
+    pub fn with_dead_dram_ctrl(mut self, ctrl: usize, at_cycle: u64) -> Self {
+        self.dead_dram_ctrl = Some(DeadDramCtrl { ctrl, at_cycle });
+        self
+    }
+
+    /// Whether the plan carries any permanent fault (armed, even if its
+    /// activation cycle is never reached).
+    pub fn has_permanent(&self) -> bool {
+        self.dead_link.is_some() || self.dead_core.is_some() || self.dead_dram_ctrl.is_some()
     }
 
     /// The single-knob plan used by the `crono faults` sweep: NoC and
@@ -119,30 +245,43 @@ impl FaultPlan {
         }
     }
 
-    /// Validates the plan's parameters.
+    /// Validates the plan's parameters: every rate must be a finite
+    /// probability in `[0, 1]` (NaN, negative, and `> 1.0` are all
+    /// rejected) and the stall window must be positive.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any rate is not a finite probability in `[0, 1]` or the
-    /// stall window is zero.
-    pub fn validate(&self) {
+    /// Returns a [`FaultPlanError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         for (name, rate) in [
             ("noc_rate", self.noc_rate),
             ("dram_rate", self.dram_rate),
             ("dram_detected_fraction", self.dram_detected_fraction),
             ("stall_rate", self.stall_rate),
         ] {
-            assert!(
-                rate.is_finite() && (0.0..=1.0).contains(&rate),
-                "{name} must be a probability in [0, 1], got {rate}"
-            );
+            if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                return Err(FaultPlanError {
+                    field: name,
+                    message: format!("{name} must be a probability in [0, 1], got {rate}"),
+                });
+            }
         }
-        assert!(self.stall_window > 0, "stall_window must be positive");
+        if self.stall_window == 0 {
+            return Err(FaultPlanError {
+                field: "stall_window",
+                message: "stall_window must be positive".to_string(),
+            });
+        }
+        Ok(())
     }
 
-    /// Whether the plan can ever inject anything.
+    /// Whether the plan can ever inject anything (transient rates all
+    /// zero and no permanent fault armed).
     pub fn is_zero(&self) -> bool {
-        self.noc_rate <= 0.0 && self.dram_rate <= 0.0 && self.stall_rate <= 0.0
+        self.noc_rate <= 0.0
+            && self.dram_rate <= 0.0
+            && self.stall_rate <= 0.0
+            && !self.has_permanent()
     }
 
     #[inline]
@@ -258,22 +397,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "probability")]
     fn validate_rejects_out_of_range_rates() {
-        FaultPlan {
-            noc_rate: 1.5,
+        for bad in [1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = FaultPlan {
+                noc_rate: bad,
+                ..FaultPlan::zero(0)
+            }
+            .validate()
+            .expect_err("out-of-range noc_rate must be rejected");
+            assert_eq!(err.field, "noc_rate");
+            assert!(
+                err.message.contains("noc_rate") && err.message.contains("probability"),
+                "message must name the field: {}",
+                err.message
+            );
+        }
+        let err = FaultPlan {
+            dram_detected_fraction: -2.0,
             ..FaultPlan::zero(0)
         }
-        .validate();
+        .validate()
+        .expect_err("negative fraction must be rejected");
+        assert_eq!(err.field, "dram_detected_fraction");
     }
 
     #[test]
-    #[should_panic(expected = "stall_window")]
     fn validate_rejects_zero_window() {
-        FaultPlan {
+        let err = FaultPlan {
             stall_window: 0,
             ..FaultPlan::zero(0)
         }
-        .validate();
+        .validate()
+        .expect_err("zero stall_window must be rejected");
+        assert_eq!(err.field, "stall_window");
+        assert!(err.message.contains("stall_window"));
+    }
+
+    #[test]
+    fn validate_accepts_sound_plans() {
+        assert!(FaultPlan::zero(7).validate().is_ok());
+        assert!(FaultPlan::scaled(7, 0.5).validate().is_ok());
+        assert!(FaultPlan::zero(7)
+            .with_dead_link(5, LinkDir::East, 1_000)
+            .with_dead_core(3, 2_000)
+            .with_dead_dram_ctrl(1, 3_000)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn permanent_faults_flip_is_zero_but_armed_plans_stay_valid() {
+        let p = FaultPlan::zero(9);
+        assert!(p.is_zero());
+        assert!(!p.has_permanent());
+        let armed = p.with_dead_core(0, u64::MAX);
+        assert!(armed.has_permanent());
+        assert!(!armed.is_zero(), "armed plan is not the zero plan");
+        assert_eq!(armed.dead_core, Some(DeadCore { core: 0, at_cycle: u64::MAX }));
     }
 }

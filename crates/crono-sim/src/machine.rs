@@ -126,7 +126,25 @@ impl SimMachine {
     ///
     /// Panics if `plan` is invalid (see [`FaultPlan::validate`]).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
-        plan.validate();
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        if let Some(dl) = plan.dead_link {
+            assert!(
+                dl.router < self.config.num_cores,
+                "dead link router {} out of range for {} cores",
+                dl.router,
+                self.config.num_cores
+            );
+        }
+        if let Some(dc) = plan.dead_core {
+            assert!(
+                dc.core < self.config.num_cores,
+                "dead core {} out of range for {} cores",
+                dc.core,
+                self.config.num_cores
+            );
+        }
         self.faults = Some(plan);
         self.deterministic = true;
         self
@@ -170,9 +188,10 @@ impl Machine for SimMachine {
             &self.config,
             self.threads,
             self.trace.is_some() || self.deterministic,
+            self.faults.as_ref(),
         ));
         let start = Instant::now();
-        type Slot<R> = (Result<R, String>, ThreadReport, MissStats, EnergyCounters, FaultCounters);
+        type Slot<R> = (WorkerExit<R>, ThreadReport, MissStats, EnergyCounters, FaultCounters);
         let mut results: Vec<Option<Slot<R>>> = Vec::new();
         results.resize_with(self.threads, || None);
         std::thread::scope(|scope| {
@@ -203,13 +222,22 @@ impl Machine for SimMachine {
                     // outlives the closure, so the thread's partial
                     // report survives its panic.
                     let r = match catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
-                        Ok(v) => Ok(v),
+                        Ok(v) => WorkerExit::Finished(v),
+                        // A permanently dead core leaving at a barrier is
+                        // a graceful exit, not a failure: the gate was
+                        // already re-sized by `depart()`, and `finish()`
+                        // below completes any pending sequencer rejoin —
+                        // so neither the gate nor the sequencer is torn
+                        // down, and the survivors keep running.
+                        Err(p) if p.downcast_ref::<CoreDeparted>().is_some() => {
+                            WorkerExit::Departed
+                        }
                         Err(p) => {
                             shared.gate.cancel(CancelCause::WorkerPanic);
                             if let Some(seq) = &shared.seq {
                                 seq.abort();
                             }
-                            Err(panic_payload(p))
+                            WorkerExit::Panicked(panic_payload(p))
                         }
                     };
                     let (report, misses, energy, faults) = ctx.finish();
@@ -237,9 +265,12 @@ impl Machine for SimMachine {
             energy.merge(&e);
             faults.merge(&fc);
             match r {
-                Ok(v) => per_thread.push(v),
-                Err(payload) if first_panic.is_none() => first_panic = Some((tid, payload)),
-                Err(_) => {}
+                WorkerExit::Finished(v) => per_thread.push(v),
+                WorkerExit::Departed => {}
+                WorkerExit::Panicked(payload) if first_panic.is_none() => {
+                    first_panic = Some((tid, payload));
+                }
+                WorkerExit::Panicked(_) => {}
             }
         }
         let completion = threads.iter().map(|t| t.finish_time).max().unwrap_or(0);
@@ -252,6 +283,11 @@ impl Machine for SimMachine {
             energy,
             faults,
         };
+        // An unroutable message also unwinds its worker, so check the
+        // typed route error before the generic panic mapping.
+        if let Some((tid, detail)) = shared.unroutable.lock().take() {
+            return Err(RunError::Unroutable { tid, detail, report });
+        }
         if let Some((tid, payload)) = first_panic {
             return Err(RunError::WorkerPanicked { tid, payload, report });
         }
@@ -283,15 +319,32 @@ struct SimShared {
     /// Deterministic turn-taking for traced/fault runs (`None` ⇒ lax
     /// mode).
     seq: Option<Sequencer>,
+    /// First unroutable message of the run — `(tid, route error)` — set
+    /// by the worker that hit a dead link its routing policy cannot
+    /// avoid, and mapped to [`RunError::Unroutable`] after the join.
+    unroutable: Mutex<Option<(usize, String)>>,
 }
 
 impl SimShared {
-    fn new(config: &SimConfig, threads: usize, sequenced: bool) -> Self {
+    fn new(
+        config: &SimConfig,
+        threads: usize,
+        sequenced: bool,
+        faults: Option<&FaultPlan>,
+    ) -> Self {
         let stride = config.num_cores / threads;
+        let mut mesh = Mesh::new(config.num_cores, config.mesh);
+        let mut dram = Dram::new(config);
+        if let Some(plan) = faults {
+            mesh.set_dead_link(plan.dead_link);
+            if let Some(dc) = plan.dead_dram_ctrl {
+                dram.set_dead_ctrl(Some(dc));
+            }
+        }
         SimShared {
             config: config.clone(),
-            mesh: Mesh::new(config.num_cores, config.mesh),
-            dram: Dram::new(config),
+            mesh,
+            dram,
             shards: (0..config.num_cores)
                 .map(|_| Mutex::new(L2Slice::new(config)))
                 .collect(),
@@ -300,8 +353,25 @@ impl SimShared {
             barrier_slots: Default::default(),
             core_map: (0..threads).map(|t| t * stride).collect(),
             seq: sequenced.then(|| Sequencer::new(threads)),
+            unroutable: Mutex::new(None),
         }
     }
+}
+
+/// Panic payload a permanently-dead core unwinds with when it departs
+/// the run at a barrier. `try_run_with` recognizes it and records the
+/// worker as departed — no cancellation, no panic report.
+struct CoreDeparted;
+
+/// How one worker's region ended.
+enum WorkerExit<R> {
+    /// `body` returned normally.
+    Finished(R),
+    /// The worker's core died mid-run and it left at a barrier; the
+    /// survivors completed without it.
+    Departed,
+    /// The worker panicked (kernel bug, or an unroutable message).
+    Panicked(String),
 }
 
 /// Cap on the per-request serialization wait charged at an L2 home
@@ -362,6 +432,11 @@ pub struct SimCtx {
     /// Last core-stall decision window evaluated, so each window is
     /// decided at most once per thread.
     last_stall_window: Option<u64>,
+    /// Set once this thread's core passes its permanent-death cycle
+    /// (`FaultPlan::dead_core`): `departed()` turns `true`, the task
+    /// layer stops handing it work, and the next barrier unwinds it out
+    /// of the run.
+    dying: bool,
 }
 
 impl SimCtx {
@@ -399,6 +474,7 @@ impl SimCtx {
             faults,
             fault_counters: FaultCounters::default(),
             last_stall_window: None,
+            dying: false,
         }
     }
 
@@ -486,6 +562,7 @@ impl SimCtx {
         // Stall faults land before the clock is published to the
         // sequencer, so the stalled clock orders the turn-taking.
         self.apply_core_stall();
+        self.note_core_death();
         // Inboxes, home slices, the mesh, and DRAM are shared: traced
         // runs serialize here in deterministic `(clock, tid)` order.
         self.sync_turn();
@@ -607,12 +684,12 @@ impl SimCtx {
     /// message is retransmitted — the retry departs when the corrupted
     /// copy would have arrived, doubling latency and flit traffic.
     fn route(&mut self, mesh: &Mesh, from: usize, to: usize, depart: u64, flits: u64) -> Traversal {
-        let t = mesh.traverse(from, to, depart, flits);
-        self.note_traffic(t.flit_hops);
+        let t = self.routed(mesh, from, to, depart, flits);
         if let Some(plan) = self.faults {
             if plan.noc_fault(from, to, depart) {
-                let retry = mesh.traverse(from, to, t.arrival, flits);
-                self.note_traffic(retry.flit_hops);
+                // The retry departs after the corrupted copy arrived —
+                // and must dodge a dead link just like the original.
+                let retry = self.routed(mesh, from, to, t.arrival, flits);
                 self.fault_counters.noc_retransmits += 1;
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.instant("fault", "noc_retransmit", depart, 1);
@@ -620,10 +697,60 @@ impl SimCtx {
                 return Traversal {
                     arrival: retry.arrival,
                     flit_hops: t.flit_hops + retry.flit_hops,
+                    detour_hops: t.detour_hops + retry.detour_hops,
+                    detoured: t.detoured || retry.detoured,
                 };
             }
         }
         t
+    }
+
+    /// One mesh traversal with permanent dead-link handling: a detour
+    /// (O1TURN dodging the dead link) is counted, and an unroutable
+    /// message — XY dimension-ordered routing whose fixed path crosses
+    /// the dead link — records the typed route error for
+    /// `try_run_with` and unwinds this worker (the run fails with
+    /// [`RunError::Unroutable`], never a hang).
+    fn routed(&mut self, mesh: &Mesh, from: usize, to: usize, depart: u64, flits: u64) -> Traversal {
+        let t = match mesh.try_traverse(from, to, depart, flits) {
+            Ok(t) => t,
+            Err(e) => {
+                let mut slot = self.shared.unroutable.lock();
+                if slot.is_none() {
+                    *slot = Some((self.tid, e.to_string()));
+                }
+                drop(slot);
+                panic!("{e}");
+            }
+        };
+        self.note_traffic(t.flit_hops);
+        if t.detoured {
+            self.fault_counters.noc_detours += 1;
+            self.fault_counters.noc_detour_hops += t.detour_hops;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("fault", "noc_detour", depart, t.detour_hops);
+            }
+        }
+        t
+    }
+
+    /// Permanent core-death faults: past the plan's activation cycle
+    /// this core is disabled. The decision is a pure clock comparison —
+    /// a plan armed at `u64::MAX` never fires and stays
+    /// timing-invisible.
+    fn note_core_death(&mut self) {
+        if self.dying {
+            return;
+        }
+        let Some(plan) = self.faults else { return };
+        let Some(dead) = plan.dead_core else { return };
+        if dead.core == self.core && self.clock >= dead.at_cycle {
+            self.dying = true;
+            self.fault_counters.cores_lost += 1;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.instant("fault", "core_dead", self.clock, 1);
+            }
+        }
     }
 
     /// Core stall faults: at most once per `stall_window`-cycle window,
@@ -733,7 +860,10 @@ impl SimCtx {
                     }
                 }
                 if v.writeback {
-                    let (c, ccore) = shared.dram.controller_for(v.line);
+                    let (c, ccore, rehomed) = shared.dram.controller_for_at(v.line, t);
+                    if rehomed {
+                        self.fault_counters.dram_rehomed += 1;
+                    }
                     shared.dram.access(c, t);
                     self.energy.dram_accesses += 1;
                     self.note_traffic(shared.mesh.hops(home, ccore) * data);
@@ -741,9 +871,19 @@ impl SimCtx {
             }
 
             if was_miss {
-                let (c, ccore) = shared.dram.controller_for(line);
+                let (c, ccore, rehomed) = shared.dram.controller_for_at(line, t);
                 let go = self.route(&shared.mesh, home, ccore, t, ctrl);
-                let acc = shared.dram.access_timed(c, go.arrival);
+                // A line re-homed off a failed controller pays a one-time
+                // migration surcharge while the window is open, then
+                // settles into (permanently) sharing the survivors.
+                let surcharge = shared.dram.migration_surcharge(rehomed, go.arrival);
+                if rehomed {
+                    self.fault_counters.dram_rehomed += 1;
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.instant("fault", "dram_rehomed", go.arrival, 1 + surcharge);
+                    }
+                }
+                let acc = shared.dram.access_timed(c, go.arrival + surcharge);
                 dram_queued = Some(acc.queued);
                 let mut ready = acc.ready;
                 self.energy.dram_accesses += 1;
@@ -1070,6 +1210,16 @@ impl ThreadCtx for SimCtx {
 
     fn barrier(&mut self) {
         self.drain_window();
+        self.note_core_death();
+        if self.dying {
+            // A dead core cannot rendezvous again: leave the gate's
+            // population permanently — survivors' barriers re-size to
+            // the survivor count — then unwind out of the kernel.
+            // `finish()` runs on the way out and completes any pending
+            // sequencer rejoin, so nobody is left parked.
+            self.shared.gate.depart();
+            std::panic::panic_any(CoreDeparted);
+        }
         self.sync_turn();
         self.instructions += 1;
         let arrive = self.clock;
@@ -1114,6 +1264,10 @@ impl ThreadCtx for SimCtx {
         self.instructions
     }
 
+    fn cycles(&self) -> u64 {
+        self.clock
+    }
+
     fn span_begin(&mut self, name: &'static str) {
         let ts = self.clock;
         if let Some(tr) = self.tracer.as_mut() {
@@ -1142,6 +1296,11 @@ impl ThreadCtx for SimCtx {
     #[inline]
     fn cancelled(&self) -> bool {
         self.shared.gate.is_cancelled()
+    }
+
+    #[inline]
+    fn departed(&self) -> bool {
+        self.dying
     }
 }
 
@@ -1591,14 +1750,17 @@ mod tests {
     /// faulty run must report injected events and take at least as long.
     #[test]
     fn fault_injection_slows_the_run_and_counts_events() {
-        let arr = SharedU32s::new(64);
+        // One u32 per cache line: 64 distinct lines, so the run makes
+        // enough independent DRAM draws that a 0.1 fault rate hits some
+        // regardless of where the symbolic allocator placed the region.
+        let arr = SharedU32s::new(1024);
         let run = |plan: FaultPlan| {
             let m = SimMachine::with_faults(SimConfig::tiny(16), 4, plan);
             m.run(|ctx| {
                 for round in 0..4 {
                     for i in 0..64 {
                         if i % ctx.num_threads() == ctx.thread_id() {
-                            arr.set(ctx, i, round as u32);
+                            arr.set(ctx, i * 16, round as u32);
                         }
                     }
                     ctx.barrier();
@@ -1681,5 +1843,199 @@ mod tests {
             lines.join("\n")
         };
         assert_eq!(child(), child(), "fault fingerprints byte-identical");
+    }
+
+    // ------------------------------------------------------------------
+    // Permanent faults: dead links, disabled cores, failed controllers.
+
+    use crate::fault::LinkDir;
+    use crate::config::RoutingPolicy;
+
+    /// A small barrier kernel over shared lines — every thread's work
+    /// crosses the mesh, so a central dead link is guaranteed traffic.
+    fn permanent_kernel(ctx: &mut SimCtx, arr: &SharedU32s) {
+        for round in 0..4u32 {
+            for i in 0..64 {
+                if i % ctx.num_threads() == ctx.thread_id() {
+                    arr.set(ctx, i, round);
+                }
+            }
+            ctx.barrier();
+        }
+    }
+
+    #[test]
+    fn dead_link_under_xy_routing_is_a_typed_error_not_a_hang() {
+        let arr = SharedU32s::new(64);
+        // Router 5's east link in the 4×4 mesh: central enough that the
+        // 4-thread all-to-home traffic must cross it.
+        let m = SimMachine::with_faults(
+            SimConfig::tiny(16),
+            4,
+            FaultPlan::zero(33).with_dead_link(5, LinkDir::East, 0),
+        );
+        let err = m
+            .try_run(|ctx| permanent_kernel(ctx, &arr))
+            .expect_err("XY routing cannot avoid a dead link on its fixed path");
+        match err {
+            RunError::Unroutable { detail, .. } => {
+                assert!(
+                    detail.contains("dead east link at router 5"),
+                    "typed detail names the dead link: {detail}"
+                );
+            }
+            other => panic!("expected Unroutable, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn dead_link_under_o1turn_completes_with_detours() {
+        let arr = SharedU32s::new(64);
+        let mut config = SimConfig::tiny(16);
+        config.mesh.routing = RoutingPolicy::O1Turn;
+        let run = |plan: FaultPlan| {
+            let m = SimMachine::with_faults(config.clone(), 4, plan);
+            m.run(|ctx| permanent_kernel(ctx, &arr)).report
+        };
+        let healthy = run(FaultPlan::zero(33));
+        let degraded = run(FaultPlan::zero(33).with_dead_link(5, LinkDir::East, 0));
+        assert_eq!(healthy.faults.noc_detours, 0, "{:?}", healthy.faults);
+        // Whether a detour is a free dimension-order flip or a +2-hop
+        // sidestep depends on the traffic mix (the sidestep cost is
+        // pinned down deterministically in the `noc` unit tests); at
+        // machine level the guarantee is that the run *completes*, with
+        // every crossing of the dead link re-routed and counted.
+        assert!(
+            degraded.faults.noc_detours > 0,
+            "O1TURN must re-route around the dead link: {:?}",
+            degraded.faults
+        );
+        assert!(degraded.completion > 0);
+    }
+
+    #[test]
+    fn dead_dram_ctrl_rehomes_lines_and_slows_the_run() {
+        let arr = SharedU32s::new(256);
+        let run = |plan: FaultPlan| {
+            let m = SimMachine::with_faults(SimConfig::tiny(16), 4, plan);
+            m.run(|ctx| permanent_kernel_wide(ctx, &arr)).report
+        };
+        let healthy = run(FaultPlan::zero(33));
+        let degraded = run(FaultPlan::zero(33).with_dead_dram_ctrl(0, 0));
+        assert_eq!(healthy.faults.dram_rehomed, 0, "{:?}", healthy.faults);
+        assert!(
+            degraded.faults.dram_rehomed > 0,
+            "controller 0's lines must re-home: {:?}",
+            degraded.faults
+        );
+        // Re-homing changes controller distances as well as queueing, so
+        // the end-to-end sign depends on the address mix; the surcharge
+        // itself is pinned down in the `dram` unit tests. Here the
+        // guarantee is that the re-homed timing is *visible*.
+        assert_ne!(
+            degraded.completion, healthy.completion,
+            "re-homed accesses change the run's timing"
+        );
+    }
+
+    /// Wider footprint so many distinct lines touch DRAM.
+    fn permanent_kernel_wide(ctx: &mut SimCtx, arr: &SharedU32s) {
+        for round in 0..2u32 {
+            for i in 0..256 {
+                if i % ctx.num_threads() == ctx.thread_id() {
+                    arr.set(ctx, i, round);
+                }
+            }
+            ctx.barrier();
+        }
+    }
+
+    #[test]
+    fn dead_core_departs_and_survivors_finish_barrier_kernel() {
+        let arr = SharedU32s::new(64);
+        let m = SimMachine::with_faults(
+            SimConfig::tiny(16),
+            4,
+            // Core 4 is thread 1's pinned core (stride 16/4); die almost
+            // immediately so the departure happens at the first barrier.
+            FaultPlan::zero(33).with_dead_core(4, 1),
+        );
+        let outcome = m
+            .try_run(|ctx| {
+                permanent_kernel(ctx, &arr);
+                ctx.thread_id()
+            })
+            .expect("survivors complete the run");
+        assert_eq!(
+            outcome.per_thread,
+            vec![0, 2, 3],
+            "the dead core contributes no return value"
+        );
+        assert_eq!(outcome.report.faults.cores_lost, 1, "{:?}", outcome.report.faults);
+        // Every round after the death still runs on the survivors.
+        for i in 0..64 {
+            if i % 4 != 1 {
+                assert_eq!(arr.get_plain(i), 3, "slot {i} finished all rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_core_tasks_drain_exactly_once_on_survivors() {
+        use crono_runtime::TaskPool;
+        let threads = 4;
+        let tasks = 256u64;
+        let m = SimMachine::with_faults(
+            SimConfig::tiny(16),
+            threads,
+            // Thread 1 (core 4) dies mid-drain.
+            FaultPlan::zero(33).with_dead_core(4, 3_000),
+        );
+        let pool = TaskPool::new(threads, 512, 9);
+        for t in 0..tasks {
+            assert!(pool.push_plain((t % threads as u64) as usize, t));
+        }
+        let seen = SharedU64s::new(tasks as usize);
+        let outcome = m
+            .try_run(|ctx| {
+                let mut mine = 0u64;
+                while let Some(task) = pool.take(ctx) {
+                    seen.fetch_add(ctx, task as usize, 1);
+                    mine += 1;
+                }
+                mine
+            })
+            .expect("take-loop kernels have no barrier; the dead core exits early");
+        assert_eq!(outcome.report.faults.cores_lost, 1, "{:?}", outcome.report.faults);
+        let counts = seen.to_vec();
+        assert!(
+            counts.iter().all(|&c| c == 1),
+            "every task exactly once, dead deque included: {counts:?}"
+        );
+        assert_eq!(outcome.per_thread.iter().sum::<u64>(), tasks);
+    }
+
+    /// Permanent fault sites armed at `u64::MAX` never activate — the
+    /// run must be cycle-identical to a fault-free one (the same
+    /// invariance the zero-rate transient plans guarantee).
+    #[test]
+    fn armed_but_inactive_permanent_faults_are_timing_invisible() {
+        // One shared array: both runs touch the same symbolic addresses,
+        // so their timings are directly comparable.
+        let arr = SharedU32s::new(64);
+        let run = |plan: FaultPlan| {
+            let m = SimMachine::with_faults(SimConfig::tiny(16), 4, plan);
+            let r = m.run(|ctx| permanent_kernel(ctx, &arr)).report;
+            (r.completion, r.energy.router_flit_hops, r.faults.total_events())
+        };
+        let clean = run(FaultPlan::zero(33));
+        let armed = run(
+            FaultPlan::zero(33)
+                .with_dead_link(5, LinkDir::East, u64::MAX)
+                .with_dead_core(4, u64::MAX)
+                .with_dead_dram_ctrl(0, u64::MAX),
+        );
+        assert_eq!(clean, armed, "armed-never-fired faults change nothing");
+        assert_eq!(armed.2, 0, "no events were injected");
     }
 }

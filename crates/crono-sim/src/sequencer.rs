@@ -250,11 +250,32 @@ impl Sequencer {
 
     /// Releases the token and removes a finished thread from the
     /// rotation forever.
+    ///
+    /// Departing may complete a pending collective rejoin: if every
+    /// other thread is already parked at the barrier (or done), this
+    /// thread leaving the rotation is the arrival the barrier was
+    /// waiting for — e.g. a permanently dead core departing the run
+    /// while the survivors sit at a kernel barrier. Without this check
+    /// those waiters would park forever.
     pub(crate) fn done(&self, tid: usize) {
         let mut s = self.lock();
         s.status[tid] = Status::Done;
         s.release_if_held(tid);
-        self.notify_next(&s, tid);
+        let all_arrived = s
+            .status
+            .iter()
+            .all(|st| matches!(st, Status::AtBarrier | Status::Done));
+        let any_at_barrier = s.status.iter().any(|st| *st == Status::AtBarrier);
+        if all_arrived && any_at_barrier {
+            for (j, st) in s.status.iter_mut().enumerate() {
+                if *st == Status::AtBarrier {
+                    *st = Status::Runnable;
+                    self.cvs[j].notify_one();
+                }
+            }
+        } else {
+            self.notify_next(&s, tid);
+        }
     }
 
     /// Cancels the schedule: drops the run token and releases every
@@ -324,6 +345,34 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn done_completes_a_pending_collective_rejoin() {
+        // Thread 1 parks at the barrier first; thread 0 then departs via
+        // done() without ever reaching the barrier. The rejoin check
+        // inside done() must release thread 1, not leave it parked
+        // forever.
+        let seq = Arc::new(Sequencer::new(2));
+        let released = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            {
+                let seq = Arc::clone(&seq);
+                let released = Arc::clone(&released);
+                scope.spawn(move || {
+                    seq.barrier_wait(1);
+                    released.store(1, Ordering::SeqCst);
+                    seq.done(1);
+                });
+            }
+            let seq0 = Arc::clone(&seq);
+            scope.spawn(move || {
+                // Give thread 1 time to park AtBarrier before departing.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                seq0.done(0);
+            });
+        });
+        assert_eq!(released.load(Ordering::SeqCst), 1);
     }
 
     #[test]

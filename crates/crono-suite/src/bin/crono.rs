@@ -2,12 +2,13 @@
 
 use crono_algos::{Ablation, Benchmark};
 use crono_energy::EnergyModel;
-use crono_sim::SimConfig;
+use crono_sim::{RoutingPolicy, SimConfig};
 use crono_suite::checkpoint::Checkpoint;
+use crono_suite::experiments::degraded::DegradedConfig;
 use crono_suite::experiments::faults::FaultsConfig;
 use crono_suite::experiments::scale_track::{self, GraphKind, ScaleTrackConfig};
 use crono_suite::experiments::{
-    ablation, faults, fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables,
+    ablation, degraded, faults, fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables,
 };
 use crono_suite::runner::Sweep;
 use crono_suite::trace::{run_traced_ablated, TraceBackend};
@@ -30,6 +31,9 @@ USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
        crono heatmap <TRACE.json> [--out FILE] [--quiet]
        crono faults [--quick] [--scale test|small|paper] [--seed N]
              [--threads N] [--out DIR] [--resume] [--quiet]
+       crono faults --degraded [--routing xy|o1turn] [--slo-p99-us F]
+             [--queries N] [--clients N] [--seed N] [--threads N]
+             [--out DIR] [--quiet]
        crono serve --workload FILE [--scale test|small|paper]
              [--threads N] [--timeout-ms N] [--out DIR] [--quiet]
        crono bombard [--queries N] [--clients N] [--seed N]
@@ -71,7 +75,14 @@ COMMANDS:
            (noc_route instants) into a mesh heatmap TSV
   faults   Deterministic fault-injection sweep: completion-time
            degradation + injected-event counters per fault rate
-           (--quick: CI smoke sweep, BFS only at test scale)
+           (--quick: CI smoke sweep, BFS only at test scale);
+           --degraded instead serves a seeded bombard stream on the
+           simulated machine while permanent faults land (dead link,
+           then a core dying mid-batch, then a DRAM controller) and
+           reports per-phase p50/p99/QPS against --slo-p99-us, plus a
+           healthy-vs-degraded routing heatmap pair with --out; with
+           --routing xy the dead link is unroutable and the command
+           exits nonzero with the typed route error
   serve    Long-lived query engine: replay a workload file (one query
            per line: `<bfs|sssp|pagerank|centrality> <vertex>
            [deadline=N]`) against the scale's graph and report per-kind
@@ -188,9 +199,26 @@ struct FaultsOptions {
     seed: u64,
     threads: Option<usize>,
     quick: bool,
+    /// `--degraded`: run the permanent-fault serving sweep instead of
+    /// the transient-fault rate sweep.
+    degraded: bool,
+    routing: RoutingPolicy,
+    slo_p99_us: Option<f64>,
+    queries: Option<usize>,
+    clients: Option<usize>,
     out: Option<PathBuf>,
     resume: bool,
     progress: bool,
+}
+
+/// Parses a `--routing` policy name, listing the valid names on error
+/// (the same shape as [`unknown_ablation`]).
+fn parse_routing(name: &str) -> Result<RoutingPolicy, String> {
+    match name {
+        "xy" => Ok(RoutingPolicy::XyDimensionOrder),
+        "o1turn" => Ok(RoutingPolicy::O1Turn),
+        other => Err(format!("unknown routing policy {other:?} (xy|o1turn)")),
+    }
 }
 
 fn parse_faults_args(mut args: impl Iterator<Item = String>) -> Result<FaultsOptions, String> {
@@ -198,6 +226,11 @@ fn parse_faults_args(mut args: impl Iterator<Item = String>) -> Result<FaultsOpt
     let mut seed = 42u64;
     let mut threads = None;
     let mut quick = false;
+    let mut degraded = false;
+    let mut routing = RoutingPolicy::O1Turn;
+    let mut slo_p99_us = None;
+    let mut queries = None;
+    let mut clients = None;
     let mut out = None;
     let mut resume = false;
     let mut progress = true;
@@ -222,6 +255,38 @@ fn parse_faults_args(mut args: impl Iterator<Item = String>) -> Result<FaultsOpt
                 );
             }
             "--quick" => quick = true,
+            "--degraded" => degraded = true,
+            "--routing" => {
+                let name = args.next().ok_or("--routing needs a value")?;
+                routing = parse_routing(&name)?;
+            }
+            "--slo-p99-us" => {
+                let v = args.next().ok_or("--slo-p99-us needs a value")?;
+                slo_p99_us = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                        .ok_or_else(|| format!("invalid SLO {v:?}"))?,
+                );
+            }
+            "--queries" => {
+                let v = args.next().ok_or("--queries needs a value")?;
+                queries = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&q: &usize| q > 0)
+                        .ok_or_else(|| format!("invalid query count {v:?}"))?,
+                );
+            }
+            "--clients" => {
+                let v = args.next().ok_or("--clients needs a value")?;
+                clients = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&c: &usize| c > 0)
+                        .ok_or_else(|| format!("invalid client count {v:?}"))?,
+                );
+            }
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
             "--resume" => resume = true,
             "--quiet" => progress = false,
@@ -232,19 +297,69 @@ fn parse_faults_args(mut args: impl Iterator<Item = String>) -> Result<FaultsOpt
         return Err("--resume needs --out DIR (the checkpoint lives in the output directory)"
             .to_string());
     }
+    if resume && degraded {
+        return Err(
+            "--resume does not apply to --degraded (the sweep is short and re-runs whole)"
+                .to_string(),
+        );
+    }
+    if !degraded && (slo_p99_us.is_some() || queries.is_some() || clients.is_some()) {
+        return Err(
+            "--slo-p99-us/--queries/--clients only apply to `crono faults --degraded`".to_string(),
+        );
+    }
     Ok(FaultsOptions {
         scale,
         seed,
         threads,
         quick,
+        degraded,
+        routing,
+        slo_p99_us,
+        queries,
+        clients,
         out,
         resume,
         progress,
     })
 }
 
+/// `crono faults --degraded`: the permanent-fault serving sweep plus
+/// the healthy-vs-degraded routing heatmap pair.
+fn degraded_command(opts: &FaultsOptions) -> Result<(), String> {
+    let defaults = DegradedConfig::default();
+    let dc = DegradedConfig {
+        seed: opts.seed,
+        threads: opts.threads.unwrap_or(defaults.threads),
+        queries: opts.queries.unwrap_or(defaults.queries),
+        clients: opts.clients.unwrap_or(defaults.clients),
+        slo_p99_us: opts.slo_p99_us.unwrap_or(defaults.slo_p99_us),
+        routing: opts.routing,
+    };
+    let table = degraded::generate(&dc, opts.progress)?;
+    println!("{}", table.render());
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create output directory {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{}.tsv", table.file_stem()));
+        std::fs::write(&path, table.to_tsv())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("[out] wrote {}", path.display());
+        let (healthy, degraded_map) = degraded::heatmap_pair(&dc)?;
+        for (name, tsv) in [("heatmap_healthy", healthy), ("heatmap_degraded", degraded_map)] {
+            let path = dir.join(format!("{name}.tsv"));
+            std::fs::write(&path, tsv).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!("[out] wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
 fn faults_command(args: impl Iterator<Item = String>) -> Result<(), String> {
     let opts = parse_faults_args(args)?;
+    if opts.degraded {
+        return degraded_command(&opts);
+    }
     // --quick is the CI smoke configuration: tiny machine, test-scale
     // inputs, BFS only (see experiments::faults::QUICK_RATES).
     let (scale, config) = if opts.quick {

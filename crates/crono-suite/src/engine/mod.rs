@@ -35,13 +35,16 @@
 //!   wall-clock timeout rides on the same machinery via
 //!   [`RunOptions::timeout`].
 //!
-//! Latency is reported in **modeled instructions** (the executing
-//! context's [`instructions`](crono_runtime::ThreadCtx::instructions)
-//! delta around the kernel), not wall-clock time. For a fixed query
-//! against a fixed graph that delta is a pure function of the work
-//! done, independent of thread placement and steal timing — which is
-//! what makes `crono bombard` byte-identical across runs and hosts
-//! while still ranking queries by how expensive they really were.
+//! Latency is reported in **modeled time** (the executing context's
+//! [`cycles`](crono_runtime::ThreadCtx::cycles) delta around the
+//! kernel), not wall-clock time. On the native backend that is the
+//! modeled-instruction count — a pure function of the work done,
+//! independent of thread placement and steal timing, which is what
+//! makes `crono bombard` byte-identical across runs and hosts. On the
+//! simulated backend it is the per-thread cycle clock, which also
+//! charges memory latency, NoC contention, and fault-induced detours —
+//! the signal the degraded-mode sweep (`crono faults --degraded`)
+//! exists to measure.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -275,6 +278,18 @@ pub struct EngineOptions {
     /// Seed for the task pool's steal order (mixed with a per-batch
     /// counter so successive batches de-correlate).
     pub seed: u64,
+    /// Drain batches through the task pool's counter-terminated
+    /// [`TaskPool::take`] loop instead of the cheaper fixed-set
+    /// `take_fixed`. `take_fixed` lets a thread leave after one empty
+    /// probe round — fine when every thread lives, but a permanently
+    /// *departed* core (a disabled-core fault on the simulated backend)
+    /// can then strand its queued plans, which fail with
+    /// [`QueryError::Cancelled`]. Under `take` the survivors keep
+    /// draining until the outstanding count — including the dead core's
+    /// backlog, which they steal — reaches zero, so every query is still
+    /// answered exactly once. Costs an extra shared counter per task;
+    /// off by default.
+    pub fault_tolerant: bool,
 }
 
 impl Default for EngineOptions {
@@ -288,6 +303,7 @@ impl Default for EngineOptions {
             centrality_max_vertices: 600,
             batch_timeout: None,
             seed: 0xC0DE,
+            fault_tolerant: false,
         }
     }
 }
@@ -599,13 +615,24 @@ impl<M: Machine> ServeEngine<M> {
             let pr_iters = self.opts.pagerank_iters;
             let plans_ref = &plans;
             let misses_ref = &misses;
+            let fault_tolerant = self.opts.fault_tolerant;
             let run = self.machine.try_run_with(
                 &RunOptions {
                     timeout: self.opts.batch_timeout,
                 },
                 |ctx| {
                     let mut done: Vec<(usize, MissOut)> = Vec::new();
-                    while let Some(t) = pool.take_fixed(ctx) {
+                    // `take` (counter-terminated, eager-completing) keeps
+                    // survivors draining a departed core's deque;
+                    // `take_fixed` is the cheap default for healthy runs.
+                    let next = |ctx: &mut M::Ctx| {
+                        if fault_tolerant {
+                            pool.take(ctx)
+                        } else {
+                            pool.take_fixed(ctx)
+                        }
+                    };
+                    while let Some(t) = next(ctx) {
                         exec_plan(
                             ctx,
                             &plans_ref[t as usize],
@@ -685,9 +712,9 @@ fn exec_plan<C: ThreadCtx>(
     match plan {
         Plan::MultiBfs(group) => {
             let sources: Vec<VertexId> = group.iter().map(|&i| misses[i].vertex).collect();
-            let start = ctx.instructions();
+            let start = ctx.cycles();
             let levels = bfs::run_multi(ctx, view, &sources);
-            let total = ctx.instructions() - start;
+            let total = ctx.cycles() - start;
             // The sweep is shared: charge each query an even share.
             let share = total / sources.len() as u64;
             for (lane, &miss_idx) in group.iter().enumerate() {
@@ -699,7 +726,11 @@ fn exec_plan<C: ThreadCtx>(
         }
         Plan::Single(miss_idx) => {
             let miss = &misses[*miss_idx];
-            let start = ctx.instructions();
+            // Latency is a cycle-clock delta (instructions on the native
+            // backend, where the two clocks coincide); the deadline is an
+            // *instruction* budget, so its post-check stays in that unit.
+            let start = ctx.cycles();
+            let istart = ctx.instructions();
             let result = match miss.kind {
                 QueryKind::Bfs => {
                     let levels = match miss.deadline {
@@ -745,11 +776,12 @@ fn exec_plan<C: ThreadCtx>(
                     }
                 }
             };
-            let cost = ctx.instructions() - start;
+            let cost = ctx.cycles() - start;
+            let icost = ctx.instructions() - istart;
             let out = match result {
                 Ok(answer) => match miss.deadline {
-                    Some(budget) if cost > budget => {
-                        Err(QueryError::DeadlineExceeded { budget, cost })
+                    Some(budget) if icost > budget => {
+                        Err(QueryError::DeadlineExceeded { budget, cost: icost })
                     }
                     _ => Ok((answer, cost, 1)),
                 },

@@ -82,6 +82,9 @@ impl Point {
                 dram_ecc_detected: next()?,
                 core_stalls: next()?,
                 core_stall_cycles: next()?,
+                // The transient sweep never arms permanent faults, so
+                // the permanent counters are not checkpointed.
+                ..FaultCounters::default()
             },
         })
     }

@@ -2,6 +2,7 @@
 //! [`crate::report::Table`]s whose rows mirror what the paper plots.
 
 pub mod ablation;
+pub mod degraded;
 pub mod faults;
 pub mod fig1;
 pub mod fig2;

@@ -151,3 +151,32 @@ fn zero_fault_plan_reproduces_golden() {
          zero-fault path must be timing-invariant"
     );
 }
+
+/// The permanent-fault arming gate: a plan that *declares* a dead link,
+/// a dead core, and a dead DRAM controller — but arms them all at
+/// `u64::MAX`, a cycle no run reaches — must also be invisible. The
+/// permanent-fault checks sit on the routing, barrier, and DRAM paths
+/// of every simulated access, so this pins them as pure reads until the
+/// armed cycle actually arrives.
+#[test]
+fn zero_permanent_fault_plan_reproduces_golden() {
+    use crono_sim::LinkDir;
+    let armed_never = FaultPlan::zero(42)
+        .with_dead_link(5, LinkDir::East, u64::MAX)
+        .with_dead_core(4, u64::MAX)
+        .with_dead_dram_ctrl(3, u64::MAX);
+    if std::env::var_os("CRONO_GOLDEN_ZEROPERM_CHILD").is_some() {
+        print!("{}", fingerprint(Some(armed_never)));
+        return;
+    }
+    let got = child_fingerprint(
+        "zero_permanent_fault_plan_reproduces_golden",
+        "CRONO_GOLDEN_ZEROPERM_CHILD",
+    );
+    assert_eq!(
+        got, GOLDEN,
+        "an armed-but-never-active permanent fault perturbed the \
+         simulated counters; permanent faults must be timing-invisible \
+         until their armed cycle"
+    );
+}

@@ -250,6 +250,60 @@ echo "==> zero-fault timing-invariance gate"
 # counter fingerprint exactly.
 cargo test -q --offline -p crono-suite --test counter_invariance zero_fault
 
+echo "==> degraded-serve smoke: permanent faults under load"
+# The four-phase sweep (healthy -> dead link -> dead core mid-batch ->
+# dead DRAM controller) must complete with every query answered
+# (OK == Queries, Errors == 0), every phase p99 finite and within the
+# SLO, and a rectangular TSV plus both heatmap artifacts written.
+./target/release/crono faults --degraded --quiet \
+  --out "$trace_out/degraded-a" >/dev/null
+degraded_tsv="$trace_out/degraded-a/faults_degraded.tsv"
+head -1 "$degraded_tsv" | grep -q 'p99_us'
+awk -F'\t' 'NR == 1 { cols = NF; next } NF != cols { exit 1 }
+            END { exit (NR != 5) }' "$degraded_tsv"
+awk -F'\t' 'NR > 1 { if ($5 != $4 || $6 != "0" || $9 + 0 <= 0 ||
+                         $11 != "pass") exit 1; rows++ }
+            END { exit (rows != 4) }' "$degraded_tsv"
+for map in heatmap_healthy heatmap_degraded; do
+  awk -F'\t' 'NR == 1 { cols = NF; next } NF != cols { exit 1 }
+              END { exit (NR < 2) }' "$trace_out/degraded-a/$map.tsv"
+done
+if cmp -s "$trace_out/degraded-a/heatmap_healthy.tsv" \
+          "$trace_out/degraded-a/heatmap_degraded.tsv"; then
+  echo "ERROR: dead link did not change the routing heatmap" >&2
+  exit 1
+fi
+echo "degraded OK: all queries served in every phase, SLO met"
+
+echo "==> degraded-serve determinism"
+# The sweep's latencies are modeled cycles under the sequencer, so two
+# fresh processes must write byte-identical artifacts.
+./target/release/crono faults --degraded --quiet \
+  --out "$trace_out/degraded-b" >/dev/null
+cmp "$degraded_tsv" "$trace_out/degraded-b/faults_degraded.tsv"
+cmp "$trace_out/degraded-a/heatmap_healthy.tsv" \
+    "$trace_out/degraded-b/heatmap_healthy.tsv"
+cmp "$trace_out/degraded-a/heatmap_degraded.tsv" \
+    "$trace_out/degraded-b/heatmap_degraded.tsv"
+echo "degraded determinism OK: two sweeps byte-identical"
+
+echo "==> XY-routing dead-link typed-error gate"
+# Dimension-ordered routing cannot avoid the dead link: the sweep must
+# exit nonzero with the backend's typed route error — not hang, not
+# serve a partial table as success.
+if timeout 120 ./target/release/crono faults --degraded --routing xy \
+     --quiet >/dev/null 2>"$trace_out/xy.err"; then
+  echo "ERROR: --routing xy succeeded despite the dead link" >&2
+  exit 1
+fi
+grep -q 'dead east link' "$trace_out/xy.err"
+echo "XY typed-error OK: unroutable link reported, no hang"
+
+echo "==> armed-but-inactive permanent-fault gate"
+# A plan declaring a dead link, core, and DRAM controller armed at
+# u64::MAX must reproduce the golden fingerprint byte-for-byte.
+cargo test -q --offline -p crono-suite --test counter_invariance zero_permanent
+
 echo "==> tracked-file audit: no build artifacts in git"
 if git ls-files | grep -q '^target/'; then
   echo "ERROR: files under target/ are tracked by git:" >&2
