@@ -1,0 +1,115 @@
+//! Serving-path batch throughput: batched multi-source SSSP vs the
+//! per-query baseline under the sssp-heavy bombard mix.
+//!
+//! The timed functions measure whole bombard sweeps (wall clock, native
+//! backend); the `metric` entries record the modeled, deterministic
+//! sssp-row QPS and p99 on both the native and simulated backends so
+//! `results/bench_serve.json` carries the batched-vs-baseline delta
+//! that the CI gate asserts on `results/serve.tsv`.
+
+use std::time::Duration;
+
+use crono_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use crono_runtime::NativeMachine;
+use crono_sim::{SimConfig, SimMachine};
+use crono_suite::engine::{EngineOptions, ServeEngine};
+use crono_suite::serve::{bombard, summarize, BombardOptions, Mix, Outcomes};
+use crono_suite::{Scale, Workload};
+
+const THREADS: usize = 4;
+const QUERIES: usize = 256;
+const CLIENTS: usize = 32;
+/// Sim sweeps pay cycle-accurate interconnect modeling per instruction,
+/// so the metric pass uses a shorter stream there.
+const SIM_QUERIES: usize = 96;
+const SIM_CLIENTS: usize = 32;
+const SEED: u64 = 7;
+
+fn engine_opts(w: &Workload, width: usize) -> EngineOptions {
+    EngineOptions {
+        pagerank_iters: w.pagerank_iters,
+        ms_sssp_width: width,
+        ..EngineOptions::default()
+    }
+}
+
+fn bombard_opts(queries: usize, clients: usize) -> BombardOptions {
+    BombardOptions {
+        queries,
+        clients,
+        seed: SEED,
+        mix: Mix::SsspHeavy,
+    }
+}
+
+/// Modeled (QPS, p99 microseconds) of the sssp row of the serve table.
+fn sssp_row(outcomes: &Outcomes, threads: usize) -> (f64, f64) {
+    let table = summarize(outcomes, threads);
+    let row = table
+        .rows
+        .iter()
+        .find(|r| r[0] == "sssp")
+        .expect("sssp row in serve table");
+    let qps: f64 = row[8].parse().expect("QPS column");
+    let p99: f64 = row[7].parse().expect("p99_us column");
+    (qps, p99)
+}
+
+fn native_sweep(w: &Workload, width: usize) -> Outcomes {
+    let mut engine = ServeEngine::new(
+        NativeMachine::new(THREADS),
+        w.graph.clone(),
+        engine_opts(w, width),
+    );
+    bombard(&mut engine, &bombard_opts(QUERIES, CLIENTS))
+}
+
+fn sim_sweep(w: &Workload, width: usize) -> Outcomes {
+    let machine = SimMachine::new(SimConfig::tiny(16), THREADS).deterministic();
+    let mut engine = ServeEngine::new(machine, w.graph.clone(), engine_opts(w, width));
+    bombard(&mut engine, &bombard_opts(SIM_QUERIES, SIM_CLIENTS))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::test();
+    let w = Workload::synthetic(&scale);
+    let batched_width = EngineOptions::default().ms_sssp_width;
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(1500));
+    g.throughput(Throughput::Elements(QUERIES as u64));
+    g.bench_function("bombard/sssp_heavy_batched", |b| {
+        b.iter(|| native_sweep(&w, batched_width))
+    });
+    g.bench_function("bombard/sssp_heavy_baseline", |b| {
+        b.iter(|| native_sweep(&w, 1))
+    });
+
+    let (nat_qps_b, nat_p99_b) = sssp_row(&native_sweep(&w, batched_width), THREADS);
+    let (nat_qps_s, nat_p99_s) = sssp_row(&native_sweep(&w, 1), THREADS);
+    g.metric("native_sssp_qps_batched", nat_qps_b);
+    g.metric("native_sssp_qps_baseline", nat_qps_s);
+    g.metric("native_sssp_p99_us_batched", nat_p99_b);
+    g.metric("native_sssp_p99_us_baseline", nat_p99_s);
+    g.metric("native_sssp_qps_speedup", nat_qps_b / nat_qps_s);
+
+    // On the cycle-accurate sim backend the batched sweep does NOT win
+    // at this scale: the shared bucket walk's extra relaxation passes
+    // cost more cycles in the tiny mesh's small caches than the shared
+    // edge scans save, so the speedup metric sits below 1.0 there (it
+    // rises monotonically with width but tops out short of the Dijkstra
+    // baseline). Recorded as-is — the delta is the finding.
+    let (sim_qps_b, sim_p99_b) = sssp_row(&sim_sweep(&w, batched_width), THREADS);
+    let (sim_qps_s, sim_p99_s) = sssp_row(&sim_sweep(&w, 1), THREADS);
+    g.metric("sim_sssp_qps_batched", sim_qps_b);
+    g.metric("sim_sssp_qps_baseline", sim_qps_s);
+    g.metric("sim_sssp_p99_us_batched", sim_p99_b);
+    g.metric("sim_sssp_p99_us_baseline", sim_p99_s);
+    g.metric("sim_sssp_qps_speedup", sim_qps_b / sim_qps_s);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -18,7 +18,9 @@ use crate::apsp::{capture_sources, dijkstra_row, STEAL_SEED, UNREACHABLE};
 use crate::graph_view::chunk;
 use crate::{costs, AlgoOutcome};
 use crono_graph::AdjacencyMatrix;
-use crono_runtime::{Machine, ReadArray, SharedU32s, SharedU64s, TaskPool, ThreadCtx};
+use crono_runtime::{
+    Machine, ReadArray, RunError, RunOptions, SharedU32s, SharedU64s, TaskPool, ThreadCtx,
+};
 
 /// Result of a betweenness-centrality run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +42,29 @@ pub fn parallel<M: Machine>(
     machine: &M,
     matrix: &AdjacencyMatrix,
 ) -> AlgoOutcome<BetweennessOutput> {
+    match try_parallel(machine, &RunOptions::default(), matrix) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`parallel`]: the serving engine's asymmetric-snapshot
+/// fallback, where a faulted machine must surface as a [`RunError`]
+/// rather than unwind the batch.
+///
+/// # Errors
+///
+/// Whatever [`Machine::try_run_with`] reports: a worker panic, the
+/// watchdog timeout, or an unroutable mesh.
+///
+/// # Panics
+///
+/// Panics if the matrix has more than 16,384 vertices.
+pub fn try_parallel<M: Machine>(
+    machine: &M,
+    opts: &RunOptions,
+    matrix: &AdjacencyMatrix,
+) -> Result<AlgoOutcome<BetweennessOutput>, RunError> {
     let n = matrix.num_vertices();
     assert!(n <= 16_384, "BETW_CENT matrix capped at 16K vertices");
     let shared = ReadArray::new(matrix.as_slice());
@@ -47,7 +72,7 @@ pub fn parallel<M: Machine>(
     let counter = SharedU64s::new(1);
     let centrality = SharedU64s::new(n);
 
-    let outcome = machine.run(|ctx| {
+    let outcome = machine.try_run_with(opts, |ctx| {
         // Phase 1: APSP by vertex capture.
         capture_sources(ctx, &shared, n, &counter, &dist);
         ctx.barrier();
@@ -88,14 +113,14 @@ pub fn parallel<M: Machine>(
                 centrality.fetch_add(ctx, v, count);
             }
         }
-    });
-    AlgoOutcome {
+    })?;
+    Ok(AlgoOutcome {
         output: BetweennessOutput {
             centrality: centrality.to_vec(),
             dist: dist.to_vec(),
         },
         report: outcome.report,
-    }
+    })
 }
 
 /// Parallel betweenness centrality with both phases as stealable tasks
@@ -179,6 +204,148 @@ pub fn parallel_steal<M: Machine>(
         },
         report: outcome.report,
     }
+}
+
+/// Result of a [`parallel_pipelined`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinedBetweenness {
+    /// `centrality[v]` = ordered `(s, t)` pairs with a shortest path
+    /// through `v` (identical to [`BetweennessOutput::centrality`]).
+    pub centrality: Vec<u64>,
+    /// The APSP distance matrix (row-major).
+    pub dist: Vec<u32>,
+    /// Deterministic instruction total of the useful work (APSP rows,
+    /// pair votes, and pair scans), independent of how the deques
+    /// interleaved it. The serving engine charges this as the snapshot
+    /// build cost; raw per-thread reports also include
+    /// schedule-dependent steal probes, so they are not byte-stable.
+    pub work: u64,
+}
+
+/// Betweenness centrality with the backward (dependency-accumulation)
+/// phase *pipelined* against the forward APSP phase through the deques —
+/// no barrier between them (closes the PR-5 item).
+///
+/// Restricted to **symmetric** matrices, where vertex `v` is interior to
+/// the pair `{s, t}` iff `d(s,v) + d(t,v) == d(s,t)` — an identity that
+/// needs only rows `s` and `t`. Each pool task computes one APSP row and
+/// then votes on every pair it belongs to with a per-pair arrival
+/// counter: `fetch_add` returning 1 means the other endpoint's row is
+/// already done (the RMW's release sequence publishes it), so the
+/// *second* arrival accumulates the pair inline — exactly once, while
+/// other rows are still being computed. Each unordered hit contributes 2
+/// (both orders), so the centralities equal [`parallel`]'s.
+///
+/// # Panics
+///
+/// Panics if the matrix has more than 16,384 vertices or is not
+/// symmetric.
+pub fn parallel_pipelined<M: Machine>(
+    machine: &M,
+    matrix: &AdjacencyMatrix,
+) -> AlgoOutcome<PipelinedBetweenness> {
+    match try_parallel_pipelined(machine, &RunOptions::default(), matrix) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`parallel_pipelined`]: the serving engine builds the
+/// centrality snapshot through this so a faulted or hung machine
+/// surfaces as a [`RunError`] (cancelling the consuming queries)
+/// instead of unwinding the whole batch.
+///
+/// # Errors
+///
+/// Whatever [`Machine::try_run_with`] reports: a worker panic, the
+/// watchdog timeout, or an unroutable mesh.
+///
+/// # Panics
+///
+/// Panics if the matrix has more than 16,384 vertices or is not
+/// symmetric.
+pub fn try_parallel_pipelined<M: Machine>(
+    machine: &M,
+    opts: &RunOptions,
+    matrix: &AdjacencyMatrix,
+) -> Result<AlgoOutcome<PipelinedBetweenness>, RunError> {
+    let n = matrix.num_vertices();
+    assert!(n <= 16_384, "BETW_CENT matrix capped at 16K vertices");
+    for s in 0..n as u32 {
+        for t in 0..s {
+            assert!(
+                matrix.get(s, t) == matrix.get(t, s),
+                "pipelined betweenness needs a symmetric matrix"
+            );
+        }
+    }
+    let threads = machine.num_threads();
+    let shared = ReadArray::new(matrix.as_slice());
+    let dist = SharedU32s::filled(n * n, UNREACHABLE);
+    let centrality = SharedU64s::new(n);
+    // One arrival counter per unordered pair {lo, hi}, triangular-packed.
+    let pair_votes = SharedU32s::new(n * n.saturating_sub(1) / 2);
+    let rows = TaskPool::new(threads, n / threads + 1, STEAL_SEED);
+    for s in 0..n {
+        let pushed = rows.push_plain(s % threads, s as u64);
+        debug_assert!(pushed, "deques are sized for all rows");
+    }
+
+    let outcome = machine.try_run_with(opts, |ctx| {
+        let mut work = 0u64;
+        while !ctx.cancelled() {
+            let Some(s) = rows.take_fixed(ctx) else { break };
+            let s = s as usize;
+            ctx.record_active(1);
+            let t0 = ctx.instructions();
+            dijkstra_row(ctx, &shared, n, s, &dist);
+            // Vote on every pair this row completes. The second arrival
+            // owns the pair: its `fetch_add` observes the first, so both
+            // rows are published and the scan can run immediately —
+            // pipelined against the rows still in the deques.
+            for y in 0..n {
+                if y == s {
+                    continue;
+                }
+                let (lo, hi) = (s.min(y), s.max(y));
+                if pair_votes.fetch_add(ctx, hi * (hi - 1) / 2 + lo, 1) != 1 {
+                    continue;
+                }
+                let c = dist.get(ctx, s * n + y);
+                if c == UNREACHABLE {
+                    continue;
+                }
+                for v in 0..n {
+                    ctx.compute(costs::MIN_SCAN);
+                    if v == s || v == y {
+                        continue;
+                    }
+                    let a = dist.get(ctx, s * n + v);
+                    if a == UNREACHABLE {
+                        continue;
+                    }
+                    let b = dist.get(ctx, y * n + v);
+                    if b == UNREACHABLE {
+                        continue;
+                    }
+                    if a + b == c {
+                        // Interior to both (s,y) and (y,s).
+                        centrality.fetch_add(ctx, v, 2);
+                    }
+                }
+            }
+            work += ctx.instructions() - t0;
+        }
+        work
+    })?;
+    Ok(AlgoOutcome {
+        output: PipelinedBetweenness {
+            centrality: centrality.to_vec(),
+            dist: dist.to_vec(),
+            work: outcome.per_thread.iter().sum(),
+        },
+        report: outcome.report,
+    })
 }
 
 /// Sequential reference (one thread).
@@ -276,5 +443,62 @@ mod tests {
         let b = parallel(&NativeMachine::new(8), &m);
         assert_eq!(a.output.centrality, b.output.centrality);
         assert_eq!(a.output.dist, b.output.dist);
+    }
+
+    #[test]
+    fn pipelined_matches_reference_at_every_thread_count() {
+        // uniform_random graphs are stored symmetrically, so the
+        // pairwise decomposition applies.
+        let m = AdjacencyMatrix::from_csr(&uniform_random(32, 90, 7, 4));
+        let expect = reference(&m);
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_pipelined(&NativeMachine::new(threads), &m);
+            assert_eq!(out.output.centrality, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipelined_on_path_and_star_fixtures() {
+        let mut path = AdjacencyMatrix::new(5);
+        for v in 0..4u32 {
+            path.set(v, v + 1, 1);
+            path.set(v + 1, v, 1);
+        }
+        let out = parallel_pipelined(&NativeMachine::new(2), &path);
+        assert_eq!(out.output.centrality, reference(&path));
+        assert_eq!(out.output.centrality[1], 6);
+
+        let mut star = AdjacencyMatrix::new(6);
+        for leaf in 1..6u32 {
+            star.set(0, leaf, 1);
+            star.set(leaf, 0, 1);
+        }
+        let out = parallel_pipelined(&NativeMachine::new(3), &star);
+        assert_eq!(out.output.centrality[0], 20);
+        assert!(out.output.centrality[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn pipelined_work_is_schedule_independent() {
+        // The useful-work total must not depend on which worker won
+        // which pair, or on the machine width — it is the deterministic
+        // cost the serving engine charges for a centrality snapshot.
+        let m = AdjacencyMatrix::from_csr(&uniform_random(28, 80, 6, 13));
+        let base = parallel_pipelined(&NativeMachine::new(1), &m).output.work;
+        assert!(base > 0);
+        for threads in [1, 2, 4, 8] {
+            for _ in 0..2 {
+                let out = parallel_pipelined(&NativeMachine::new(threads), &m);
+                assert_eq!(out.output.work, base, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn pipelined_rejects_directed_matrices() {
+        let mut m = AdjacencyMatrix::new(3);
+        m.set(0, 1, 1); // no reverse edge
+        parallel_pipelined(&NativeMachine::new(2), &m);
     }
 }

@@ -11,7 +11,7 @@
 use crate::graph_view::{chunk, SharedGraph};
 use crate::{costs, AlgoOutcome};
 use crono_graph::{CsrGraph, VertexId};
-use crono_runtime::{LockSet, Machine, SharedF64s, ThreadCtx};
+use crono_runtime::{LockSet, Machine, ReadArray, RunError, RunOptions, SharedF64s, ThreadCtx};
 
 /// The paper's `r`: probability of a random page visit.
 pub const DAMPING_R: f64 = 0.15;
@@ -169,6 +169,113 @@ pub fn parallel_cas<M: Machine>(
     }
 }
 
+/// Parallel PageRank in *pull* mode over the transpose — the serving
+/// engine's snapshot builder (PR 10).
+///
+/// Each thread owns a static chunk of vertices and gathers
+/// `PR(v)/degree(v)` from its in-neighbors into a private accumulator:
+/// no locks, no CAS, and — because [`CsrGraph::from_edges`] sorts
+/// adjacency lists — the floating-point additions for a vertex happen in
+/// ascending in-neighbor order, which is exactly the order the
+/// push-mode [`reference`] applies them in. The ranks are therefore
+/// **bitwise identical** to `reference(graph, iterations)` at every
+/// thread count, so a cache keyed on the snapshot stays byte-stable no
+/// matter which machine built it. The transpose and the out-degree
+/// table are data preparation built outside the timed region, like the
+/// light/heavy split in [`crate::sssp::parallel_delta`].
+///
+/// # Panics
+///
+/// Panics if `iterations == 0`.
+pub fn parallel_pull<M: Machine>(
+    machine: &M,
+    graph: &CsrGraph,
+    iterations: u32,
+) -> AlgoOutcome<PageRankOutput> {
+    match try_parallel_pull(machine, &RunOptions::default(), graph, iterations) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`parallel_pull`]: the serving engine builds snapshots
+/// through this so a faulted or hung machine surfaces as a
+/// [`RunError`] (cancelling the consuming queries) instead of
+/// unwinding the whole batch.
+///
+/// # Errors
+///
+/// Whatever [`Machine::try_run_with`] reports: a worker panic, the
+/// watchdog timeout, or an unroutable mesh.
+///
+/// # Panics
+///
+/// Panics if `iterations == 0`.
+pub fn try_parallel_pull<M: Machine>(
+    machine: &M,
+    opts: &RunOptions,
+    graph: &CsrGraph,
+    iterations: u32,
+) -> Result<AlgoOutcome<PageRankOutput>, RunError> {
+    assert!(iterations > 0, "need at least one iteration");
+    let n = graph.num_vertices();
+    let transpose_edges: Vec<(VertexId, VertexId, u32)> = (0..n as VertexId)
+        .flat_map(|v| graph.neighbors(v).map(move |(u, w)| (u, v, w)))
+        .collect();
+    let transpose = CsrGraph::from_edges(n, transpose_edges);
+    let shared_t = SharedGraph::new(&transpose);
+    let degrees: Vec<u32> = (0..n as VertexId).map(|v| graph.degree(v) as u32).collect();
+    let degrees = ReadArray::new(&degrees);
+    let ranks = SharedF64s::filled(n, 1.0 / n as f64);
+    let sums = SharedF64s::filled(n, 0.0);
+
+    let outcome = machine.try_run_with(opts, |ctx| {
+        let tid = ctx.thread_id();
+        let nthreads = ctx.num_threads();
+        for _ in 0..iterations {
+            if ctx.cancelled() {
+                break;
+            }
+            ctx.span_begin("pagerank:iter");
+            // Pull phase: gather in ascending in-neighbor order.
+            let mut active = 0u64;
+            for u in chunk(n, tid, nthreads) {
+                let r = shared_t.edge_range(ctx, u as VertexId);
+                if r.is_empty() {
+                    continue;
+                }
+                active += 1;
+                let mut sum = 0.0f64;
+                for e in r {
+                    let v = shared_t.neighbor(ctx, e) as usize;
+                    ctx.compute(costs::RANK_UPDATE);
+                    sum += ranks.get(ctx, v) / degrees.get(ctx, v) as f64;
+                }
+                sums.set(ctx, u, sum);
+            }
+            if active > 0 {
+                ctx.record_active(active);
+            }
+            ctx.barrier();
+            for v in chunk(n, tid, nthreads) {
+                ctx.compute(costs::RANK_UPDATE);
+                let s = sums.get(ctx, v);
+                ranks.set(ctx, v, DAMPING_R + (1.0 - DAMPING_R) * s);
+                sums.set(ctx, v, 0.0);
+            }
+            ctx.barrier();
+            ctx.span_end("pagerank:iter");
+        }
+    })?;
+    Ok(AlgoOutcome {
+        output: PageRankOutput {
+            ranks: ranks.to_vec(),
+            iterations,
+        },
+        report: outcome.report,
+    })
+}
+
 /// Sequential reference.
 ///
 /// # Panics
@@ -271,5 +378,38 @@ mod tests {
         let g = CsrGraph::from_edges(3, vec![(0, 1, 1), (1, 0, 1)]);
         let out = parallel(&NativeMachine::new(2), &g, 10);
         assert!((out.output.ranks[2] - DAMPING_R).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pull_variant_is_bitwise_equal_to_reference() {
+        // The serving engine's on-pool snapshot builder relies on this:
+        // the pull kernel gathers in ascending in-neighbor order, the
+        // same FP addition order the push reference uses, so the ranks
+        // are identical down to the last bit at every thread count.
+        for (g, iters) in [
+            (uniform_random(128, 512, 4, 3), 10u32),
+            (rmat(8, 1024, 4, RmatParams::default(), 5), 20u32),
+        ] {
+            let oracle = reference(&g, iters);
+            for threads in [1, 2, 4, 8] {
+                let out = parallel_pull(&NativeMachine::new(threads), &g, iters);
+                let got: Vec<u64> = out.output.ranks.iter().map(|r| r.to_bits()).collect();
+                let want: Vec<u64> = oracle.iter().map(|r| r.to_bits()).collect();
+                assert_eq!(got, want, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pull_variant_handles_dangling_and_isolated_vertices() {
+        // Vertex 2 has no out-edges (dangling), vertex 3 no edges at all.
+        let g = CsrGraph::from_edges(4, vec![(0, 1, 1), (1, 0, 1), (0, 2, 1)]);
+        let out = parallel_pull(&NativeMachine::new(2), &g, 10);
+        let oracle = reference(&g, 10);
+        assert_eq!(
+            out.output.ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            oracle.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
+        assert!((out.output.ranks[3] - DAMPING_R).abs() < 1e-12);
     }
 }

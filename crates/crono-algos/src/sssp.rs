@@ -397,8 +397,8 @@ pub fn parallel_inner<M: Machine>(
 /// Picks the delta-stepping bucket width: the mean edge weight, clamped
 /// to at least 1. A width near the average weight keeps light buckets
 /// busy without serializing into one-vertex Dijkstra steps. Computed
-/// outside the timed region.
-fn pick_delta(graph: &CsrGraph) -> u32 {
+/// outside the timed region (the serving engine caches it per epoch).
+pub fn pick_delta(graph: &CsrGraph) -> u32 {
     let mut total = 0u64;
     let mut count = 0u64;
     for v in 0..graph.num_vertices() as VertexId {
@@ -646,9 +646,270 @@ pub fn parallel_delta<M: Machine>(
     }
 }
 
+/// Maximum number of sources one [`run_multi_delta`] sweep can share —
+/// one lane per bit of the `u64` frontier masks, mirroring
+/// [`crate::bfs::MULTI_WIDTH`].
+pub const MULTI_WIDTH: usize = 64;
+
+/// Multi-source delta-stepping: one bucket walk shared by up to
+/// [`MULTI_WIDTH`] sources.
+///
+/// The serving engine batches up to 64 deadline-free SSSP misses into a
+/// single sweep, the way MS-BFS shares levels ([`crate::bfs::run_multi`]).
+/// Each vertex carries a lane-major distance row (`dist[v * k + lane]`)
+/// plus three `u64` lane masks: the current-bucket frontier, the parked
+/// (pending, later-bucket) lanes, and the settled lanes. The light/heavy
+/// bucket walk of [`parallel_delta`] runs *once*: a vertex in the
+/// [`SlidingQueue`] frontier loads its adjacency list one time and
+/// relaxes every active lane against it, so the edge traffic — the
+/// dominant cost of running the sweep per source — is amortized across
+/// the batch. Light improvements that stay inside the bucket re-enter
+/// the frontier (vertex-deduplicated by mask transition), ones that leave
+/// it park in the pending ping-pong queues; after the light fixpoint the
+/// lanes the bucket settled relax their heavy edges exactly once, and a
+/// min-bucket vote over the live parked lanes picks the next bucket.
+///
+/// The kernel is sequential over one `ctx` (a single pool worker runs
+/// the whole batch, like `bfs::run_multi`), so the per-lane results and
+/// the charged cost are independent of machine thread count. Distances
+/// equal a per-source [`run_seq`] exactly.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty, holds more than [`MULTI_WIDTH`]
+/// entries, or contains an out-of-range vertex.
+pub fn run_multi_delta<C: ThreadCtx>(
+    ctx: &mut C,
+    graph: &SharedGraph<'_>,
+    sources: &[VertexId],
+    delta: u32,
+) -> Vec<Vec<u32>> {
+    let n = graph.num_vertices();
+    let k = sources.len();
+    assert!(k >= 1, "source batch is empty");
+    assert!(k <= MULTI_WIDTH, "source batch exceeds MULTI_WIDTH");
+    for &s in sources {
+        assert!((s as usize) < n, "source vertex out of range");
+    }
+    let delta = delta.max(1);
+    let m = graph.num_directed_edges();
+    // Lane-major distances plus per-vertex lane masks. `bucket_lanes`
+    // logs which lanes the current bucket settled (the heavy phase
+    // drains and clears it each bucket).
+    let mut dist = TrackedVec::filled(n * k, UNREACHABLE);
+    let mut cur_mask = TrackedVec::filled(n, 0u64);
+    let mut pend_mask = TrackedVec::filled(n, 0u64);
+    let mut settled_mask = TrackedVec::filled(n, 0u64);
+    let mut bucket_lanes = TrackedVec::filled(n, 0u64);
+    // Frontier sizing mirrors `parallel_delta`; the pending queues hold
+    // at most one live entry per vertex (`pend_mask != 0` exactly when
+    // the vertex has an entry in one of them), and the settled log is
+    // reset once its bucket's heavy phase has drained it.
+    let cur = SlidingQueue::new(2 * m + n + 64);
+    let pend = [SlidingQueue::new(n + 64), SlidingQueue::new(n + 64)];
+    let settled = SlidingQueue::new(n + 64);
+    for (lane, &s) in sources.iter().enumerate() {
+        dist.set(ctx, s as usize * k + lane, 0);
+        let mask = cur_mask.get(ctx, s as usize);
+        if mask == 0 {
+            cur.push(ctx, s);
+        }
+        cur_mask.set(ctx, s as usize, mask | 1 << lane);
+    }
+    let mut dvs = [0u32; MULTI_WIDTH];
+    let mut bucket = 0u64;
+    let mut a = 0usize;
+    'buckets: loop {
+        if ctx.cancelled() {
+            break;
+        }
+        ctx.span_begin("sssp:multi_bucket");
+        let bucket_end = ((bucket + 1) * delta as u64).min(UNREACHABLE as u64) as u32;
+        // Light fixpoint: drain successive frontier windows. Every push
+        // lands beyond the window being drained, so each slide opens
+        // exactly the entries the previous iteration produced.
+        loop {
+            if ctx.cancelled() {
+                ctx.span_end("sssp:multi_bucket");
+                break 'buckets;
+            }
+            cur.slide(ctx);
+            let w = cur.window(ctx);
+            if w.is_empty() {
+                break;
+            }
+            for i in w.clone() {
+                let v = cur.get(ctx, i) as usize;
+                ctx.compute(costs::VISIT);
+                let mask = cur_mask.get(ctx, v);
+                cur_mask.set(ctx, v, 0);
+                // Lanes only enter the frontier with an in-bucket
+                // distance, and distances never grow, so every masked
+                // lane is active; cache its distance for the edge scan.
+                let mut l = mask;
+                while l != 0 {
+                    let lane = l.trailing_zeros() as usize;
+                    l &= l - 1;
+                    dvs[lane] = dist.get(ctx, v * k + lane);
+                }
+                let already = settled_mask.get(ctx, v);
+                let newly = mask & !already;
+                if newly != 0 {
+                    settled_mask.set(ctx, v, already | newly);
+                    let bl = bucket_lanes.get(ctx, v);
+                    if bl == 0 {
+                        settled.push(ctx, v as u32);
+                    }
+                    bucket_lanes.set(ctx, v, bl | newly);
+                }
+                for e in graph.edge_range(ctx, v as VertexId) {
+                    let (u, wt) = graph.edge(ctx, e);
+                    if wt > delta {
+                        continue; // heavy edges wait for the bucket to settle
+                    }
+                    let u = u as usize;
+                    let mut l = mask;
+                    while l != 0 {
+                        let lane = l.trailing_zeros() as usize;
+                        l &= l - 1;
+                        ctx.compute(costs::RELAX);
+                        let nd = dvs[lane] + wt;
+                        if nd < dist.get(ctx, u * k + lane) {
+                            dist.set(ctx, u * k + lane, nd);
+                            if nd < bucket_end {
+                                let cm = cur_mask.get(ctx, u);
+                                if cm == 0 {
+                                    cur.push(ctx, u as u32);
+                                }
+                                cur_mask.set(ctx, u, cm | 1 << lane);
+                            } else {
+                                let pm = pend_mask.get(ctx, u);
+                                if pm & (1 << lane) == 0 {
+                                    if pm == 0 {
+                                        pend[a].push(ctx, u as u32);
+                                    }
+                                    pend_mask.set(ctx, u, pm | 1 << lane);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The frontier is fully drained; reclaim it for the next bucket.
+        cur.reset(ctx);
+        // Heavy phase: every (vertex, lane) this bucket settled relaxes
+        // its heavy edges exactly once. `w > delta` pushes the target
+        // past the bucket boundary, so successes always park.
+        settled.slide(ctx);
+        let sw = settled.window(ctx);
+        for i in sw.clone() {
+            let v = settled.get(ctx, i) as usize;
+            ctx.compute(costs::VISIT);
+            let lanes = bucket_lanes.get(ctx, v);
+            bucket_lanes.set(ctx, v, 0);
+            let mut l = lanes;
+            while l != 0 {
+                let lane = l.trailing_zeros() as usize;
+                l &= l - 1;
+                dvs[lane] = dist.get(ctx, v * k + lane);
+            }
+            for e in graph.edge_range(ctx, v as VertexId) {
+                let (u, wt) = graph.edge(ctx, e);
+                if wt <= delta {
+                    continue;
+                }
+                let u = u as usize;
+                let mut l = lanes;
+                while l != 0 {
+                    let lane = l.trailing_zeros() as usize;
+                    l &= l - 1;
+                    ctx.compute(costs::RELAX);
+                    let nd = dvs[lane] + wt;
+                    if nd < dist.get(ctx, u * k + lane) {
+                        dist.set(ctx, u * k + lane, nd);
+                        let pm = pend_mask.get(ctx, u);
+                        if pm & (1 << lane) == 0 {
+                            if pm == 0 {
+                                pend[a].push(ctx, u as u32);
+                            }
+                            pend_mask.set(ctx, u, pm | 1 << lane);
+                        }
+                    }
+                }
+            }
+        }
+        settled.reset(ctx);
+        // Redistribution: vote on the next non-empty bucket over the
+        // live parked lanes (parked bits whose lane has since settled
+        // are stale and filtered), then move matching lanes into the
+        // frontier and re-park the rest in the other pending queue.
+        pend[a].slide(ctx);
+        let pw = pend[a].window(ctx);
+        if pw.is_empty() {
+            ctx.span_end("sssp:multi_bucket");
+            break;
+        }
+        let mut kmin = u64::MAX;
+        for i in pw.clone() {
+            let v = pend[a].get(ctx, i) as usize;
+            ctx.compute(costs::VISIT);
+            let live = pend_mask.get(ctx, v) & !settled_mask.get(ctx, v);
+            let mut l = live;
+            while l != 0 {
+                let lane = l.trailing_zeros() as usize;
+                l &= l - 1;
+                let dv = dist.get(ctx, v * k + lane);
+                kmin = kmin.min(dv as u64 / delta as u64);
+            }
+        }
+        if kmin == u64::MAX {
+            ctx.span_end("sssp:multi_bucket");
+            break;
+        }
+        for i in pw.clone() {
+            let v = pend[a].get(ctx, i) as usize;
+            let live = pend_mask.get(ctx, v) & !settled_mask.get(ctx, v);
+            let mut moved = 0u64;
+            let mut stay = 0u64;
+            let mut l = live;
+            while l != 0 {
+                let lane = l.trailing_zeros() as usize;
+                l &= l - 1;
+                let dv = dist.get(ctx, v * k + lane);
+                if dv as u64 / delta as u64 == kmin {
+                    moved |= 1 << lane;
+                } else {
+                    stay |= 1 << lane;
+                }
+            }
+            if moved != 0 {
+                let cm = cur_mask.get(ctx, v);
+                if cm == 0 {
+                    cur.push(ctx, v as u32);
+                }
+                cur_mask.set(ctx, v, cm | moved);
+            }
+            pend_mask.set(ctx, v, stay);
+            if stay != 0 {
+                pend[1 - a].push(ctx, v as u32);
+            }
+        }
+        pend[a].reset(ctx);
+        ctx.span_end("sssp:multi_bucket");
+        bucket = kmin;
+        a = 1 - a;
+    }
+    let flat = dist.into_vec();
+    (0..k)
+        .map(|lane| (0..n).map(|v| flat[v * k + lane]).collect())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crono_graph::gen::catalog::Dataset;
     use crono_graph::gen::{road_network, uniform_random};
     use crono_runtime::NativeMachine;
 
@@ -810,5 +1071,157 @@ mod tests {
     fn bad_source_rejected() {
         let g = uniform_random(8, 12, 4, 0);
         parallel(&NativeMachine::new(2), &g, 100);
+    }
+
+    /// Runs the multi-source sweep on thread 0 of a `threads`-wide
+    /// machine (the engine executes it the same way: one pool worker
+    /// owns the whole batch).
+    fn multi_on(threads: usize, g: &CsrGraph, sources: &[VertexId]) -> Vec<Vec<u32>> {
+        let shared = SharedGraph::new(g);
+        let delta = pick_delta(g);
+        let outcome = NativeMachine::new(threads).run(|ctx| {
+            if ctx.thread_id() == 0 {
+                Some(run_multi_delta(ctx, &shared, sources, delta))
+            } else {
+                None
+            }
+        });
+        outcome.per_thread.into_iter().flatten().next().unwrap()
+    }
+
+    fn seq_on(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+        let shared = SharedGraph::new(g);
+        let mut outcome = NativeMachine::new(1).run(|ctx| run_seq(ctx, &shared, source));
+        outcome.per_thread.pop().unwrap()
+    }
+
+    #[test]
+    fn multi_delta_matches_run_seq_across_catalog() {
+        // The five Table III generators, shrunk to test scale, at 1, 4,
+        // and 16 machine threads (the kernel is single-ctx, so thread
+        // count must not change a single distance).
+        for (di, dataset) in Dataset::ALL.iter().enumerate() {
+            let g = dataset.generate(14, 0xC0DE + di as u64);
+            let n = g.num_vertices() as VertexId;
+            let sources: Vec<VertexId> = (0..8).map(|i| (i * 7 + 3) % n).collect();
+            let expect: Vec<Vec<u32>> = sources.iter().map(|&s| seq_on(&g, s)).collect();
+            for threads in [1usize, 4, 16] {
+                let got = multi_on(threads, &g, &sources);
+                assert_eq!(
+                    got,
+                    expect,
+                    "dataset {} threads {threads}",
+                    dataset.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_delta_full_width_batch() {
+        let g = uniform_random(256, 1024, 32, 5);
+        let sources: Vec<VertexId> = (0..MULTI_WIDTH as VertexId).map(|i| i * 3).collect();
+        let got = multi_on(4, &g, &sources);
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(got[lane], seq_on(&g, s), "lane {lane} source {s}");
+        }
+    }
+
+    #[test]
+    fn multi_delta_sources_in_distinct_components() {
+        // Two components (0..3 and 3..6) plus an isolated vertex 6;
+        // lanes must not leak reachability across components.
+        let g = CsrGraph::from_edges(
+            7,
+            vec![
+                (0, 1, 2),
+                (1, 0, 2),
+                (1, 2, 5),
+                (2, 1, 5),
+                (3, 4, 1),
+                (4, 3, 1),
+                (4, 5, 9),
+                (5, 4, 9),
+            ],
+        );
+        let sources = [0, 3, 6];
+        let got = multi_on(2, &g, &sources);
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(got[lane], seq_on(&g, s), "lane {lane}");
+        }
+        assert_eq!(got[0][3], UNREACHABLE);
+        assert_eq!(got[1][0], UNREACHABLE);
+        assert_eq!(got[2], vec![UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]);
+    }
+
+    #[test]
+    fn multi_delta_charges_are_deterministic() {
+        let g = uniform_random(128, 512, 48, 11);
+        let shared = SharedGraph::new(&g);
+        let delta = pick_delta(&g);
+        let sources: Vec<VertexId> = vec![0, 17, 33, 64, 90];
+        let run = || {
+            let outcome = NativeMachine::new(1).run(|ctx| {
+                let start = ctx.instructions();
+                let dists = run_multi_delta(ctx, &shared, &sources, delta);
+                (dists, ctx.instructions() - start)
+            });
+            outcome.per_thread.into_iter().next().unwrap()
+        };
+        let (d1, c1) = run();
+        let (d2, c2) = run();
+        assert_eq!(d1, d2);
+        assert_eq!(c1, c2, "charged cost must be repeatable");
+        assert!(c1 > 0);
+    }
+
+    #[test]
+    fn multi_delta_shares_work_across_lanes() {
+        // The whole point: k lanes in one sweep must charge well under
+        // k independent sequential runs.
+        let g = uniform_random(256, 2048, 32, 7);
+        let shared = SharedGraph::new(&g);
+        let delta = pick_delta(&g);
+        let sources: Vec<VertexId> = (0..16).map(|i| i * 11).collect();
+        let multi_cost = NativeMachine::new(1)
+            .run(|ctx| {
+                let start = ctx.instructions();
+                run_multi_delta(ctx, &shared, &sources, delta);
+                ctx.instructions() - start
+            })
+            .per_thread[0];
+        let seq_cost: u64 = sources
+            .iter()
+            .map(|&s| {
+                NativeMachine::new(1)
+                    .run(|ctx| {
+                        let start = ctx.instructions();
+                        run_seq(ctx, &shared, s);
+                        ctx.instructions() - start
+                    })
+                    .per_thread[0]
+            })
+            .sum();
+        assert!(
+            multi_cost < seq_cost * 4 / 5,
+            "multi {multi_cost} vs {} sequential {seq_cost}",
+            sources.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "source batch is empty")]
+    fn multi_delta_rejects_empty_batch() {
+        let g = uniform_random(8, 12, 4, 0);
+        let shared = SharedGraph::new(&g);
+        NativeMachine::new(1).run(|ctx| run_multi_delta(ctx, &shared, &[], 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn multi_delta_rejects_bad_source() {
+        let g = uniform_random(8, 12, 4, 0);
+        let shared = SharedGraph::new(&g);
+        NativeMachine::new(1).run(|ctx| run_multi_delta(ctx, &shared, &[0, 100], 1));
     }
 }

@@ -11,6 +11,7 @@ use crono_suite::experiments::{
     ablation, degraded, faults, fig1, fig2, fig34, fig5, fig6, fig78, fig9, table4, tables,
 };
 use crono_suite::runner::Sweep;
+use crono_suite::serve::Mix;
 use crono_suite::trace::{run_traced_ablated, TraceBackend};
 use crono_suite::{Scale, Table};
 use crono_trace::{CounterSummary, TraceConfig, TraceDiff};
@@ -37,6 +38,7 @@ USAGE: crono <COMMAND> [--scale test|small|paper] [--paper-scale]
        crono serve --workload FILE [--scale test|small|paper]
              [--threads N] [--timeout-ms N] [--out DIR] [--quiet]
        crono bombard [--queries N] [--clients N] [--seed N]
+             [--mix default|sssp-heavy] [--ms-sssp-width N]
              [--scale test|small|paper] [--threads N] [--timeout-ms N]
              [--out DIR] [--quiet]
        crono scale [--graph rmat|uniform] [--graph-scale N] [--degree N]
@@ -95,7 +97,9 @@ COMMANDS:
   gen      Stream a seeded synthetic edge list to --out in chunks (the
            same text format crono's readers and the scale build accept)
   bombard  Seeded closed-loop load generator against the same engine:
-           mixed BFS/SSSP/PageRank stream with a hot set; repeated runs
+           mixed BFS/SSSP/PageRank stream with a hot set (--mix
+           sssp-heavy stresses the multi-source SSSP batcher;
+           --ms-sssp-width 1 is the per-query baseline); repeated runs
            with one seed are byte-identical (latency is modeled, not
            wall-clock)
 
@@ -656,6 +660,8 @@ struct ServeOptions {
     queries: usize,
     clients: usize,
     seed: u64,
+    mix: Mix,
+    ms_sssp_width: Option<usize>,
     timeout_ms: Option<u64>,
     out: Option<PathBuf>,
     progress: bool,
@@ -668,6 +674,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
     let mut queries = 512usize;
     let mut clients = 32usize;
     let mut seed = 7u64;
+    let mut mix = Mix::Default;
+    let mut ms_sssp_width = None;
     let mut timeout_ms = None;
     let mut out = None;
     let mut progress = true;
@@ -709,6 +717,20 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
                 let v = args.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("invalid seed {v:?}"))?;
             }
+            "--mix" => {
+                let name = args.next().ok_or("--mix needs a value")?;
+                mix = Mix::by_name(&name)
+                    .ok_or_else(|| format!("unknown mix {name:?} (default|sssp-heavy)"))?;
+            }
+            "--ms-sssp-width" => {
+                let v = args.next().ok_or("--ms-sssp-width needs a value")?;
+                ms_sssp_width = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&w| w > 0)
+                        .ok_or_else(|| format!("invalid batch width {v:?}"))?,
+                );
+            }
             "--timeout-ms" => {
                 let v = args.next().ok_or("--timeout-ms needs a value")?;
                 timeout_ms = Some(
@@ -730,6 +752,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
         queries,
         clients,
         seed,
+        mix,
+        ms_sssp_width,
         timeout_ms,
         out,
         progress,
@@ -984,10 +1008,14 @@ fn serve_command(args: impl Iterator<Item = String>, replay: bool) -> Result<(),
         );
     }
     let w = crono_suite::Workload::synthetic(&opts.scale);
+    let defaults = EngineOptions::default();
     let engine_opts = EngineOptions {
         pagerank_iters: w.pagerank_iters,
         batch_timeout: opts.timeout_ms.map(std::time::Duration::from_millis),
-        ..EngineOptions::default()
+        // --ms-sssp-width 1 is the per-query baseline (independent
+        // sequential Dijkstra per SSSP miss).
+        ms_sssp_width: opts.ms_sssp_width.unwrap_or(defaults.ms_sssp_width),
+        ..defaults
     };
     let mut engine = ServeEngine::new(
         crono_runtime::NativeMachine::new(opts.threads),
@@ -1003,6 +1031,7 @@ fn serve_command(args: impl Iterator<Item = String>, replay: bool) -> Result<(),
                 queries: opts.queries,
                 clients: opts.clients,
                 seed: opts.seed,
+                mix: opts.mix,
             },
         ),
     };

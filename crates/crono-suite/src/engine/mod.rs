@@ -19,10 +19,21 @@
 //! * **Multi-source batching.** Deadline-free BFS queries that miss the
 //!   cache are grouped up to [`bfs::MULTI_WIDTH`] per sweep and answered
 //!   by `bfs::run_multi`, which shares one frontier walk across the
-//!   group (the MS-BFS trick: one bit lane per source).
-//! * **Result cache.** Answers are memoized by `(kind, vertex, epoch)`;
-//!   installing a new graph bumps the epoch, which invalidates every
-//!   cached entry without a scan.
+//!   group (the MS-BFS trick: one bit lane per source). Deadline-free
+//!   SSSP misses batch the same way into `sssp::run_multi_delta`: one
+//!   delta-stepping bucket walk with a distance lane per source, sharing
+//!   the adjacency traffic the way the BFS sweep shares its frontier.
+//! * **On-pool snapshots.** The PageRank and centrality snapshots the
+//!   point-reads consume are built by parallel kernels on the engine's
+//!   machine (`pagerank::parallel_pull`, `betweenness::parallel_pipelined`)
+//!   the first time an epoch needs them, and their deterministic build
+//!   cost is amortized over the batch's queries of that kind — snapshot
+//!   construction shows up in modeled p50/p99 instead of being free
+//!   host work.
+//! * **Result cache.** Answers are memoized by `(kind, vertex, epoch)`
+//!   with LRU eviction (a hit re-stamps the entry); installing a new
+//!   graph bumps the epoch, which invalidates every cached entry
+//!   without a scan.
 //! * **Admission control.** The submit queue is bounded; a full queue
 //!   rejects with [`AdmitError::QueueFull`] instead of growing without
 //!   bound, so a closed-loop client observes backpressure.
@@ -261,11 +272,15 @@ pub struct EngineOptions {
     pub batch_max: usize,
     /// Bounded submit-queue capacity (admission control).
     pub queue_capacity: usize,
-    /// Result-cache entries kept (FIFO eviction); 0 disables caching.
+    /// Result-cache entries kept (LRU eviction); 0 disables caching.
     pub cache_capacity: usize,
     /// Most sources per multi-source BFS sweep (clamped to
     /// [`bfs::MULTI_WIDTH`]); 1 disables batching.
     pub ms_bfs_width: usize,
+    /// Most sources per multi-source SSSP sweep (clamped to
+    /// [`sssp::MULTI_WIDTH`]); 1 disables batching and answers every
+    /// SSSP miss with an independent sequential Dijkstra.
+    pub ms_sssp_width: usize,
     /// Iterations for the shared PageRank snapshot.
     pub pagerank_iters: u32,
     /// Largest graph the O(n³) centrality snapshot will be built for;
@@ -299,8 +314,12 @@ impl Default for EngineOptions {
             queue_capacity: 256,
             cache_capacity: 1024,
             ms_bfs_width: bfs::MULTI_WIDTH,
+            ms_sssp_width: sssp::MULTI_WIDTH,
             pagerank_iters: 20,
-            centrality_max_vertices: 600,
+            // Raised from 600 now that the snapshot is built by the
+            // pipelined parallel kernel instead of host-side
+            // Floyd–Warshall.
+            centrality_max_vertices: 1024,
             batch_timeout: None,
             seed: 0xC0DE,
             fault_tolerant: false,
@@ -351,10 +370,11 @@ pub fn checksum(values: &[u32]) -> u64 {
 type CacheKey = (QueryKind, VertexId, u64);
 
 /// What one task-pool plan computes: either a single query, or one
-/// multi-source BFS sweep shared by several.
+/// multi-source sweep (BFS or delta-stepping SSSP) shared by several.
 enum Plan {
     Single(usize),
     MultiBfs(Vec<usize>),
+    MultiSssp(Vec<usize>),
 }
 
 /// One deduplicated unit of work and the batch slots awaiting it.
@@ -366,6 +386,12 @@ struct Miss {
 }
 
 type MissOut = Result<(Answer, u64, usize), QueryError>;
+
+/// Outcome of one snapshot build attempt in `ensure_snapshots`:
+/// `None` when the snapshot already existed (or nothing asked for it),
+/// `Some(Ok(cost))` when it was built this batch, `Some(Err(detail))`
+/// when the build failed and the consuming queries must be cancelled.
+type SnapshotBuild = Option<Result<u64, String>>;
 
 /// The serving engine: an immutable graph, a machine, snapshots, a
 /// result cache, and a bounded admission queue.
@@ -389,10 +415,17 @@ pub struct ServeEngine<M: Machine> {
     graph: CsrGraph,
     epoch: u64,
     queue: VecDeque<Query>,
-    cache: HashMap<CacheKey, Answer>,
-    cache_order: VecDeque<CacheKey>,
+    /// Answers stamped with their last-use tick; `cache_order` holds
+    /// `(key, stamp)` pairs, oldest first, and eviction skips entries
+    /// whose stamp no longer matches (the key was promoted since).
+    cache: HashMap<CacheKey, (Answer, u64)>,
+    cache_order: VecDeque<(CacheKey, u64)>,
+    cache_stamp: u64,
     ranks: Option<Vec<f64>>,
     centrality: Option<Vec<u64>>,
+    /// Delta-stepping bucket width for the current epoch, computed on
+    /// first use (it is a pure function of the installed graph).
+    delta: Option<u32>,
     opts: EngineOptions,
     stats: EngineStats,
     batch_counter: u64,
@@ -408,8 +441,10 @@ impl<M: Machine> ServeEngine<M> {
             queue: VecDeque::new(),
             cache: HashMap::new(),
             cache_order: VecDeque::new(),
+            cache_stamp: 0,
             ranks: None,
             centrality: None,
+            delta: None,
             opts,
             stats: EngineStats::default(),
             batch_counter: 0,
@@ -451,6 +486,7 @@ impl<M: Machine> ServeEngine<M> {
         self.cache_order.clear();
         self.ranks = None;
         self.centrality = None;
+        self.delta = None;
     }
 
     /// Admits one query, subject to the bounded-queue admission control.
@@ -472,8 +508,19 @@ impl<M: Machine> ServeEngine<M> {
         Ok(())
     }
 
-    fn cache_get(&self, kind: QueryKind, vertex: VertexId) -> Option<Answer> {
-        self.cache.get(&(kind, vertex, self.epoch)).cloned()
+    /// Cache lookup with LRU promotion: a hit re-stamps the entry and
+    /// appends a fresh `(key, stamp)` order record, so eviction (which
+    /// pops from the front, skipping stale records) sees it as the
+    /// youngest entry.
+    fn cache_get(&mut self, kind: QueryKind, vertex: VertexId) -> Option<Answer> {
+        let key = (kind, vertex, self.epoch);
+        let (answer, stamp) = self.cache.get_mut(&key)?;
+        self.cache_stamp += 1;
+        *stamp = self.cache_stamp;
+        let answer = answer.clone();
+        self.cache_order.push_back((key, self.cache_stamp));
+        self.compact_cache_order();
+        Some(answer)
     }
 
     fn cache_put(&mut self, kind: QueryKind, vertex: VertexId, answer: Answer) {
@@ -481,30 +528,100 @@ impl<M: Machine> ServeEngine<M> {
             return;
         }
         let key = (kind, vertex, self.epoch);
-        if self.cache.insert(key, answer).is_none() {
-            self.cache_order.push_back(key);
-            while self.cache.len() > self.opts.cache_capacity {
-                if let Some(old) = self.cache_order.pop_front() {
-                    self.cache.remove(&old);
-                }
+        self.cache_stamp += 1;
+        self.cache.insert(key, (answer, self.cache_stamp));
+        self.cache_order.push_back((key, self.cache_stamp));
+        while self.cache.len() > self.opts.cache_capacity {
+            let Some((old, stamp)) = self.cache_order.pop_front() else {
+                break;
+            };
+            // Only evict if this record is the key's *current* stamp;
+            // otherwise the key was promoted (or re-inserted) since and
+            // this record is stale.
+            if self.cache.get(&old).is_some_and(|(_, s)| *s == stamp) {
+                self.cache.remove(&old);
             }
+        }
+        self.compact_cache_order();
+    }
+
+    /// Bounds the lazily-maintained order deque: stale records (from
+    /// promotions and re-insertions) are dropped wholesale once they
+    /// outnumber live entries a few times over.
+    fn compact_cache_order(&mut self) {
+        if self.cache_order.len() > 4 * self.cache.len().max(16) {
+            let cache = &self.cache;
+            self.cache_order
+                .retain(|(k, s)| cache.get(k).is_some_and(|(_, cs)| cs == s));
         }
     }
 
-    /// Builds (or reuses) the host-side snapshots the drained batch
-    /// needs. PageRank/centrality queries read a whole-graph snapshot:
-    /// computing it once per epoch and sharing it across queries is the
-    /// serving analogue of the sweeps' one-shot runs.
-    fn ensure_snapshots(&mut self, misses: &[Miss]) {
+    /// Builds (or reuses) the snapshots the drained batch needs, **on
+    /// the engine's machine**: PageRank via the pull kernel (bitwise
+    /// equal to the push reference at any thread count) and centrality
+    /// via the pipelined betweenness kernel (falling back to the
+    /// barrier version for asymmetric graphs). Returns each snapshot's
+    /// modeled build cost when it was built *by this call*, so
+    /// `run_batch` can charge it to the queries that triggered it —
+    /// snapshot construction is part of the serving latency, not free
+    /// host work. The adjacency-matrix/transpose layouts are still
+    /// host-side data preparation, like the sweeps' untimed setup.
+    ///
+    /// A build that fails (worker panic, watchdog, unroutable mesh)
+    /// reports `Some(Err(detail))`: the caller cancels the consuming
+    /// queries, the snapshot slot stays empty, and the next batch
+    /// retries — the engine stays serviceable.
+    fn ensure_snapshots(&mut self, misses: &[Miss]) -> (SnapshotBuild, SnapshotBuild) {
+        let opts = RunOptions {
+            timeout: self.opts.batch_timeout,
+        };
+        let mut pr_cost = None;
+        let mut cent_cost = None;
         if self.ranks.is_none() && misses.iter().any(|m| m.kind == QueryKind::PageRank) {
-            self.ranks = Some(pagerank::reference(&self.graph, self.opts.pagerank_iters));
+            if self.opts.pagerank_iters == 0 {
+                // Degenerate configuration: zero iterations means the
+                // initial uniform ranks; nothing to run on the pool.
+                self.ranks = Some(pagerank::reference(&self.graph, 0));
+                pr_cost = Some(Ok(0));
+            } else {
+                match pagerank::try_parallel_pull(
+                    &self.machine,
+                    &opts,
+                    &self.graph,
+                    self.opts.pagerank_iters,
+                ) {
+                    Ok(out) => {
+                        pr_cost = Some(Ok(out
+                            .report
+                            .threads
+                            .iter()
+                            .map(|t| t.instructions)
+                            .sum::<u64>()));
+                        self.ranks = Some(out.output.ranks);
+                    }
+                    Err(e) => pr_cost = Some(Err(e.to_string())),
+                }
+            }
         }
-        if self.centrality.is_none()
-            && misses.iter().any(|m| m.kind == QueryKind::Centrality)
-        {
+        if self.centrality.is_none() && misses.iter().any(|m| m.kind == QueryKind::Centrality) {
             let matrix = AdjacencyMatrix::from_csr(&self.graph);
-            self.centrality = Some(betweenness::reference(&matrix));
+            let nv = matrix.num_vertices() as u32;
+            let symmetric =
+                (0..nv).all(|s| (0..s).all(|t| matrix.get(s, t) == matrix.get(t, s)));
+            let built = if symmetric {
+                betweenness::try_parallel_pipelined(&self.machine, &opts, &matrix).map(|out| {
+                    self.centrality = Some(out.output.centrality);
+                    out.output.work
+                })
+            } else {
+                betweenness::try_parallel(&self.machine, &opts, &matrix).map(|out| {
+                    self.centrality = Some(out.output.centrality);
+                    out.report.threads.iter().map(|t| t.instructions).sum()
+                })
+            };
+            cent_cost = Some(built.map_err(|e| e.to_string()));
         }
+        (pr_cost, cent_cost)
     }
 
     /// Drains up to [`EngineOptions::batch_max`] queued queries,
@@ -531,7 +648,7 @@ impl<M: Machine> ServeEngine<M> {
         // parallel region, cancellations for whatever is left.
         let mut outcomes: Vec<Option<Result<Response, QueryError>>> = vec![None; queries.len()];
         let mut misses: Vec<Miss> = Vec::new();
-        let mut miss_index: HashMap<(QueryKind, VertexId, Option<u64>), usize> = HashMap::new();
+        let mut miss_index: HashMap<(QueryKind, VertexId), usize> = HashMap::new();
         for (slot, q) in queries.iter().enumerate() {
             if (q.vertex as usize) >= n {
                 outcomes[slot] = Some(Err(QueryError::SourceOutOfRange {
@@ -557,11 +674,19 @@ impl<M: Machine> ServeEngine<M> {
                 }));
                 continue;
             }
-            // Identical in-flight queries (kind, vertex, deadline) share
-            // one unit of work.
-            match miss_index.entry((q.kind, q.vertex, q.deadline)) {
+            // Identical in-flight queries (kind, vertex) share one unit
+            // of work; the shared run honors the *tightest* deadline
+            // among its members (and shares its fate — a deadline-cut
+            // kernel cannot hand looser members a partial answer).
+            match miss_index.entry((q.kind, q.vertex)) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    misses[*e.get()].members.push(slot);
+                    let miss = &mut misses[*e.get()];
+                    miss.members.push(slot);
+                    miss.deadline = match (miss.deadline, q.deadline) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (Some(a), None) => Some(a),
+                        (None, d) => d,
+                    };
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(misses.len());
@@ -575,27 +700,67 @@ impl<M: Machine> ServeEngine<M> {
             }
         }
 
-        self.ensure_snapshots(&misses);
+        let (pr_build, cent_build) = self.ensure_snapshots(&misses);
 
-        // Plan the pool's task set: deadline-free BFS misses are grouped
-        // into shared multi-source sweeps; everything else runs alone.
-        let width = self.opts.ms_bfs_width.clamp(1, bfs::MULTI_WIDTH);
+        // A failed snapshot build cancels the queries that needed it
+        // (they never reach the pool); the rest of the batch still runs
+        // and the next batch retries the build.
+        let mut grouped = vec![false; misses.len()];
+        for (kind, build) in [
+            (QueryKind::PageRank, &pr_build),
+            (QueryKind::Centrality, &cent_build),
+        ] {
+            let Some(Err(detail)) = build else { continue };
+            for (i, miss) in misses.iter().enumerate() {
+                if miss.kind != kind {
+                    continue;
+                }
+                grouped[i] = true;
+                for &slot in &miss.members {
+                    outcomes[slot] = Some(Err(QueryError::Cancelled(detail.clone())));
+                }
+            }
+        }
+
+        // Plan the pool's task set: deadline-free BFS and SSSP misses
+        // are grouped into shared multi-source sweeps; everything else
+        // runs alone.
+        let bfs_width = self.opts.ms_bfs_width.clamp(1, bfs::MULTI_WIDTH);
+        let sssp_width = self.opts.ms_sssp_width.clamp(1, sssp::MULTI_WIDTH);
         let mut plans: Vec<Plan> = Vec::new();
-        let batchable: Vec<usize> = (0..misses.len())
+        let bfs_batchable: Vec<usize> = (0..misses.len())
             .filter(|&i| misses[i].kind == QueryKind::Bfs && misses[i].deadline.is_none())
             .collect();
-        for chunk in batchable.chunks(width) {
+        for chunk in bfs_batchable.chunks(bfs_width) {
+            chunk.iter().for_each(|&i| grouped[i] = true);
             if chunk.len() == 1 {
                 plans.push(Plan::Single(chunk[0]));
             } else {
                 plans.push(Plan::MultiBfs(chunk.to_vec()));
             }
         }
+        let sssp_batchable: Vec<usize> = (0..misses.len())
+            .filter(|&i| misses[i].kind == QueryKind::Sssp && misses[i].deadline.is_none())
+            .collect();
+        for chunk in sssp_batchable.chunks(sssp_width) {
+            chunk.iter().for_each(|&i| grouped[i] = true);
+            if chunk.len() == 1 {
+                plans.push(Plan::Single(chunk[0]));
+            } else {
+                plans.push(Plan::MultiSssp(chunk.to_vec()));
+            }
+        }
         for i in 0..misses.len() {
-            if !(misses[i].kind == QueryKind::Bfs && misses[i].deadline.is_none()) {
+            if !grouped[i] {
                 plans.push(Plan::Single(i));
             }
         }
+        // The sweep's bucket width is a pure per-epoch function of the
+        // graph; compute it once, on first use.
+        if plans.iter().any(|p| matches!(p, Plan::MultiSssp(_))) && self.delta.is_none() {
+            self.delta = Some(sssp::pick_delta(&self.graph));
+        }
+        let delta = self.delta.unwrap_or(1);
 
         let mut error = None;
         if !plans.is_empty() {
@@ -641,6 +806,7 @@ impl<M: Machine> ServeEngine<M> {
                             ranks,
                             centrality,
                             pr_iters,
+                            delta,
                             &mut done,
                         );
                     }
@@ -672,6 +838,31 @@ impl<M: Machine> ServeEngine<M> {
                     }
                 }
                 Err(e) => error = Some(e.to_string()),
+            }
+        }
+
+        // Charge snapshots built this batch to the queries that needed
+        // them: an even share of the parallel build's deterministic cost
+        // per consuming query. (A snapshot can only be built in the same
+        // batch as its first consumers — later batches reuse it free.)
+        for (kind, build) in [
+            (QueryKind::PageRank, pr_build),
+            (QueryKind::Centrality, cent_build),
+        ] {
+            let Some(Ok(build)) = build else { continue };
+            let slots: Vec<usize> = misses
+                .iter()
+                .filter(|m| m.kind == kind)
+                .flat_map(|m| m.members.iter().copied())
+                .collect();
+            if slots.is_empty() {
+                continue;
+            }
+            let share = build / slots.len() as u64;
+            for slot in slots {
+                if let Some(Ok(r)) = outcomes[slot].as_mut() {
+                    r.cost += share;
+                }
             }
         }
 
@@ -707,6 +898,7 @@ fn exec_plan<C: ThreadCtx>(
     ranks: Option<&[f64]>,
     centrality: Option<&[u64]>,
     pr_iters: u32,
+    delta: u32,
     done: &mut Vec<(usize, MissOut)>,
 ) {
     match plan {
@@ -721,6 +913,19 @@ fn exec_plan<C: ThreadCtx>(
                 done.push((
                     miss_idx,
                     Ok((summarize_bfs(&levels[lane]), share, sources.len())),
+                ));
+            }
+        }
+        Plan::MultiSssp(group) => {
+            let sources: Vec<VertexId> = group.iter().map(|&i| misses[i].vertex).collect();
+            let start = ctx.cycles();
+            let dists = sssp::run_multi_delta(ctx, view, &sources, delta);
+            let total = ctx.cycles() - start;
+            let share = total / sources.len() as u64;
+            for (lane, &miss_idx) in group.iter().enumerate() {
+                done.push((
+                    miss_idx,
+                    Ok((summarize_sssp(&dists[lane]), share, sources.len())),
                 ));
             }
         }
@@ -1035,6 +1240,218 @@ mod tests {
             Err(QueryError::Unsupported(_))
         ));
         assert!(batch.outcomes[2].1.is_ok(), "good query unaffected");
+    }
+
+    #[test]
+    fn cache_eviction_is_lru_not_fifo() {
+        let graph = uniform_random(64, 256, 8, 1);
+        let mut engine = ServeEngine::new(
+            NativeMachine::new(1),
+            graph,
+            EngineOptions {
+                cache_capacity: 2,
+                ..EngineOptions::default()
+            },
+        );
+        let mut ask = |v: u32| -> bool {
+            engine.submit(Query::new(QueryKind::Bfs, v)).unwrap();
+            let batch = engine.run_batch();
+            let (_, Ok(r)) = &batch.outcomes[0] else {
+                panic!("query failed");
+            };
+            r.cached
+        };
+        assert!(!ask(1)); // cache: {1}
+        assert!(!ask(2)); // cache: {1, 2}
+        assert!(ask(1)); // hit promotes 1 over 2
+        assert!(!ask(3)); // evicts 2 (LRU); FIFO would evict 1
+        assert!(ask(1), "promoted entry must survive the eviction");
+        assert!(!ask(2), "least-recently-used entry must be gone");
+    }
+
+    #[test]
+    fn repeated_hits_never_evict_the_hot_entry() {
+        // The lazy order deque accumulates stale records on every hit;
+        // compaction must drop those, not live entries.
+        let graph = uniform_random(64, 256, 8, 1);
+        let mut engine = ServeEngine::new(
+            NativeMachine::new(1),
+            graph,
+            EngineOptions {
+                cache_capacity: 2,
+                ..EngineOptions::default()
+            },
+        );
+        engine.submit(Query::new(QueryKind::Bfs, 7)).unwrap();
+        engine.run_batch();
+        for _ in 0..200 {
+            engine.submit(Query::new(QueryKind::Bfs, 7)).unwrap();
+            let batch = engine.run_batch();
+            let (_, Ok(r)) = &batch.outcomes[0] else {
+                panic!("query failed");
+            };
+            assert!(r.cached);
+        }
+    }
+
+    #[test]
+    fn duplicates_with_different_deadlines_merge_and_honor_the_tightest() {
+        // Generous + none: one unit of work, both succeed identically.
+        let mut engine = test_engine(2);
+        engine.submit(Query::new(QueryKind::Sssp, 31)).unwrap();
+        engine
+            .submit(Query {
+                kind: QueryKind::Sssp,
+                vertex: 31,
+                deadline: Some(u64::MAX),
+            })
+            .unwrap();
+        let batch = engine.run_batch();
+        let a = batch.outcomes[0].1.as_ref().expect("deadline-free ok");
+        let b = batch.outcomes[1].1.as_ref().expect("generous ok");
+        assert_eq!(a, b, "merged duplicates share one response");
+
+        // Tight + none: the shared run is cut at the tightest budget and
+        // every member shares its fate (no partial answers).
+        let mut engine = test_engine(2);
+        engine.submit(Query::new(QueryKind::Sssp, 31)).unwrap();
+        engine
+            .submit(Query {
+                kind: QueryKind::Sssp,
+                vertex: 31,
+                deadline: Some(10),
+            })
+            .unwrap();
+        let batch = engine.run_batch();
+        for (_, out) in &batch.outcomes {
+            assert!(
+                matches!(out, Err(QueryError::DeadlineExceeded { budget: 10, .. })),
+                "got {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_multi_source_sssp_matches_independent_queries() {
+        let sources = [0u32, 7, 19, 42, 99, 150, 200, 255];
+        let graph = uniform_random(256, 1024, 8, 42);
+        let mut batched = ServeEngine::new(
+            NativeMachine::new(4),
+            graph.clone(),
+            EngineOptions {
+                cache_capacity: 0,
+                ..EngineOptions::default()
+            },
+        );
+        for &s in &sources {
+            batched.submit(Query::new(QueryKind::Sssp, s)).unwrap();
+        }
+        let batch = batched.run_batch();
+
+        // Reference engine: width 1 → every miss is an independent
+        // sequential Dijkstra.
+        let mut single = ServeEngine::new(
+            NativeMachine::new(1),
+            graph,
+            EngineOptions {
+                cache_capacity: 0,
+                batch_max: 1,
+                ms_sssp_width: 1,
+                ..EngineOptions::default()
+            },
+        );
+        for (i, &s) in sources.iter().enumerate() {
+            single.submit(Query::new(QueryKind::Sssp, s)).unwrap();
+            let reference = single.run_batch();
+            let (_, Ok(ref_r)) = &reference.outcomes[0] else {
+                panic!("reference SSSP failed");
+            };
+            let (_, Ok(bat_r)) = &batch.outcomes[i] else {
+                panic!("batched SSSP failed");
+            };
+            assert_eq!(bat_r.answer, ref_r.answer, "source {s}");
+            assert_eq!(bat_r.batched, sources.len());
+            assert_eq!(ref_r.batched, 1);
+            assert!(
+                bat_r.cost < ref_r.cost,
+                "shared sweep must be cheaper per query: {} vs {}",
+                bat_r.cost,
+                ref_r.cost
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_build_cost_lands_in_the_first_batch_latency() {
+        let mut engine = test_engine(2);
+        engine.submit(Query::new(QueryKind::PageRank, 1)).unwrap();
+        engine.submit(Query::new(QueryKind::PageRank, 2)).unwrap();
+        let first = engine.run_batch();
+        let (_, Ok(r1)) = &first.outcomes[0] else {
+            panic!("pagerank failed");
+        };
+        let (_, Ok(r2)) = &first.outcomes[1] else {
+            panic!("pagerank failed");
+        };
+
+        // A later miss reuses the snapshot and pays only the point read.
+        engine.submit(Query::new(QueryKind::PageRank, 3)).unwrap();
+        let later = engine.run_batch();
+        let (_, Ok(r3)) = &later.outcomes[0] else {
+            panic!("pagerank failed");
+        };
+        assert!(
+            r1.cost > 100 * r3.cost,
+            "snapshot build must dominate the first batch: {} vs {}",
+            r1.cost,
+            r3.cost
+        );
+        // The build is shared evenly across the batch's consumers.
+        assert_eq!(r1.cost, r2.cost);
+
+        // Same shape for the centrality snapshot.
+        let mut engine = test_engine(2);
+        engine.submit(Query::new(QueryKind::Centrality, 1)).unwrap();
+        let first = engine.run_batch();
+        let (_, Ok(c1)) = &first.outcomes[0] else {
+            panic!("centrality failed");
+        };
+        engine.submit(Query::new(QueryKind::Centrality, 2)).unwrap();
+        let later = engine.run_batch();
+        let (_, Ok(c2)) = &later.outcomes[0] else {
+            panic!("centrality failed");
+        };
+        assert!(c1.cost > 100 * c2.cost, "{} vs {}", c1.cost, c2.cost);
+    }
+
+    #[test]
+    fn snapshot_answers_match_the_reference_kernels() {
+        // The on-pool builders must not change what gets served: pull
+        // PageRank is bitwise-equal to the push reference, and pipelined
+        // betweenness equals the brute-force oracle.
+        let graph = uniform_random(128, 512, 8, 21);
+        let ranks = pagerank::reference(&graph, EngineOptions::default().pagerank_iters);
+        let matrix = AdjacencyMatrix::from_csr(&graph);
+        let centrality = betweenness::reference(&matrix);
+        let mut engine =
+            ServeEngine::new(NativeMachine::new(4), graph, EngineOptions::default());
+        engine.submit(Query::new(QueryKind::PageRank, 9)).unwrap();
+        engine.submit(Query::new(QueryKind::Centrality, 9)).unwrap();
+        let batch = engine.run_batch();
+        match &batch.outcomes[0].1 {
+            Ok(Response {
+                answer: Answer::PageRank { rank, .. },
+                ..
+            }) => assert_eq!(rank.to_bits(), ranks[9].to_bits()),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &batch.outcomes[1].1 {
+            Ok(Response {
+                answer: Answer::Centrality { centrality: c },
+                ..
+            }) => assert_eq!(*c, centrality[9]),
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

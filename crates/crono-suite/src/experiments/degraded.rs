@@ -32,7 +32,7 @@
 use crate::engine::{EngineOptions, QueryError, ServeEngine};
 use crate::report::{f2, Table};
 use crate::scale::Scale;
-use crate::serve::{bombard, BombardOptions, Outcomes};
+use crate::serve::{bombard, BombardOptions, Mix, Outcomes};
 use crate::workload::Workload;
 use crono_sim::{FaultPlan, LinkDir, RoutingPolicy, SimConfig, SimMachine};
 
@@ -80,9 +80,12 @@ impl Default for DegradedConfig {
             queries: 192,
             clients: 16,
             // Calibrated at ~2x the default sweep's worst observed
-            // phase p99 (~395 us): degradation is visible in the table
-            // but a healthy run never flirts with the limit.
-            slo_p99_us: 750.0,
+            // phase p99 (~770 us, dominated by the first batch paying
+            // for its on-pool PageRank snapshot build — serving latency
+            // since PR 10, not free host work): degradation is visible
+            // in the table but a healthy run never flirts with the
+            // limit.
+            slo_p99_us: 1500.0,
             routing: RoutingPolicy::O1Turn,
         }
     }
@@ -259,6 +262,7 @@ pub fn generate(dc: &DegradedConfig, progress: bool) -> Result<Table, String> {
                 queries: dc.queries,
                 clients: dc.clients,
                 seed: dc.seed,
+                mix: Mix::Default,
             },
         );
         let stats = PhaseStats::collect(&outcomes).map_err(|detail| {

@@ -101,6 +101,57 @@ pub fn run_workload<M: Machine>(engine: &mut ServeEngine<M>, queries: &[Query]) 
     outcomes
 }
 
+/// Query-kind distribution of a [`bombard`] stream.
+///
+/// The draw sequence is identical for every mix — one kind draw, one
+/// hot/cold draw, one vertex draw per query — so changing the mix
+/// reshapes *what* is asked without perturbing *which* vertices the
+/// stream visits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 40% BFS / 30% SSSP / 30% PageRank — the original stream
+    /// (byte-compatible with the pre-PR-10 generator).
+    Default,
+    /// 20% BFS / 60% SSSP / 20% PageRank — stresses the multi-source
+    /// SSSP batcher (`--mix sssp-heavy`).
+    SsspHeavy,
+}
+
+impl Mix {
+    /// Parses a CLI mix name.
+    pub fn by_name(name: &str) -> Option<Mix> {
+        match name {
+            "default" => Some(Mix::Default),
+            "sssp-heavy" => Some(Mix::SsspHeavy),
+            _ => None,
+        }
+    }
+
+    /// The mix's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::Default => "default",
+            Mix::SsspHeavy => "sssp-heavy",
+        }
+    }
+
+    /// Maps one decile draw to a query kind.
+    fn kind(self, decile: u32) -> QueryKind {
+        match self {
+            Mix::Default => match decile {
+                0..=3 => QueryKind::Bfs,
+                4..=6 => QueryKind::Sssp,
+                _ => QueryKind::PageRank,
+            },
+            Mix::SsspHeavy => match decile {
+                0..=1 => QueryKind::Bfs,
+                2..=7 => QueryKind::Sssp,
+                _ => QueryKind::PageRank,
+            },
+        }
+    }
+}
+
 /// Knobs for the [`bombard`] load generator.
 #[derive(Debug, Clone)]
 pub struct BombardOptions {
@@ -111,6 +162,8 @@ pub struct BombardOptions {
     pub clients: usize,
     /// Seed for the query stream.
     pub seed: u64,
+    /// Query-kind distribution.
+    pub mix: Mix,
 }
 
 impl Default for BombardOptions {
@@ -119,6 +172,7 @@ impl Default for BombardOptions {
             queries: 512,
             clients: 32,
             seed: 7,
+            mix: Mix::Default,
         }
     }
 }
@@ -128,13 +182,14 @@ impl Default for BombardOptions {
 const HOT_SET: usize = 8;
 
 /// Seeded closed-loop load generator: issues
-/// [`BombardOptions::queries`] mixed queries (40% BFS / 30% SSSP / 30%
-/// PageRank, 25% of them aimed at an 8-vertex hot set), keeping at most
+/// [`BombardOptions::queries`] queries drawn from the configured
+/// [`Mix`] (25% of them aimed at an 8-vertex hot set), keeping at most
 /// [`BombardOptions::clients`] in flight, draining batches when the
 /// clients are all waiting or admission control pushes back.
 ///
-/// Deterministic end to end: the stream is a pure function of the seed
-/// and the graph's vertex count, and every reported latency is modeled.
+/// Deterministic end to end: the stream is a pure function of the seed,
+/// the mix, and the graph's vertex count, and every reported latency is
+/// modeled.
 pub fn bombard<M: Machine>(engine: &mut ServeEngine<M>, opts: &BombardOptions) -> Outcomes {
     let n = engine.graph().num_vertices() as u32;
     let mut rng = SmallRng::seed_from_u64(opts.seed);
@@ -142,11 +197,7 @@ pub fn bombard<M: Machine>(engine: &mut ServeEngine<M>, opts: &BombardOptions) -
     let mut outcomes = Outcomes::new();
     let mut in_flight = 0usize;
     for _ in 0..opts.queries {
-        let kind = match rng.random_range(0..10u32) {
-            0..=3 => QueryKind::Bfs,
-            4..=6 => QueryKind::Sssp,
-            _ => QueryKind::PageRank,
-        };
+        let kind = opts.mix.kind(rng.random_range(0..10u32));
         let vertex = if rng.random_range(0..4u32) == 0 {
             hot[rng.random_range(0..HOT_SET as u32) as usize]
         } else {
@@ -330,6 +381,7 @@ centrality 3
             queries: 128,
             clients: 16,
             seed: 99,
+            mix: Mix::Default,
         };
         let a = bombard(&mut small_engine(4), &opts);
         let b = bombard(&mut small_engine(4), &opts);
@@ -340,12 +392,37 @@ centrality 3
     }
 
     #[test]
+    fn sssp_heavy_mix_batches_multi_source_sweeps() {
+        let opts = BombardOptions {
+            queries: 128,
+            clients: 16,
+            seed: 9,
+            mix: Mix::SsspHeavy,
+        };
+        let outcomes = bombard(&mut small_engine(4), &opts);
+        assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+        let batched = outcomes
+            .iter()
+            .filter(|(q, o)| {
+                q.kind == QueryKind::Sssp && matches!(o, Ok(r) if r.batched > 1 && !r.cached)
+            })
+            .count();
+        assert!(
+            batched > 0,
+            "sssp-heavy stream must trigger multi-source SSSP batching"
+        );
+        let again = bombard(&mut small_engine(4), &opts);
+        assert_eq!(outcomes, again, "sssp-heavy stream is deterministic");
+    }
+
+    #[test]
     fn bombard_exercises_cache_and_serves_everything() {
         let mut engine = small_engine(4);
         let opts = BombardOptions {
             queries: 256,
             clients: 16,
             seed: 5,
+            mix: Mix::Default,
         };
         let outcomes = bombard(&mut engine, &opts);
         assert_eq!(outcomes.len(), 256, "every issued query gets an outcome");

@@ -202,6 +202,27 @@ echo "==> bombard determinism gate"
 cmp "$trace_out/bombard-a/serve.tsv" "$trace_out/bombard-b/serve.tsv"
 echo "bombard determinism OK: two runs byte-identical"
 
+echo "==> batched multi-source SSSP gate"
+# Under the sssp-heavy mix, the shared-bucket multi-source sweep
+# (Plan::MultiSssp) must beat the independent per-query Dijkstra
+# baseline (--ms-sssp-width 1) on both QPS and p99 of the sssp row,
+# and the batched plan must be byte-deterministic across processes.
+./target/release/crono bombard --scale test --threads 4 --queries 96 \
+  --clients 16 --seed 11 --mix sssp-heavy --quiet \
+  --out "$trace_out/bombard-ms-a" >/dev/null
+./target/release/crono bombard --scale test --threads 4 --queries 96 \
+  --clients 16 --seed 11 --mix sssp-heavy --quiet \
+  --out "$trace_out/bombard-ms-b" >/dev/null
+cmp "$trace_out/bombard-ms-a/serve.tsv" "$trace_out/bombard-ms-b/serve.tsv"
+./target/release/crono bombard --scale test --threads 4 --queries 96 \
+  --clients 16 --seed 11 --mix sssp-heavy --ms-sssp-width 1 --quiet \
+  --out "$trace_out/bombard-ms-base" >/dev/null
+awk -F'\t' '$1 == "sssp" && FILENAME ~ /ms-a/ { bq = $9 + 0; bp = $8 + 0 }
+            $1 == "sssp" && FILENAME ~ /ms-base/ { sq = $9 + 0; sp = $8 + 0 }
+            END { exit !(bq > 0 && bq >= sq && bp <= sp) }' \
+  "$trace_out/bombard-ms-a/serve.tsv" "$trace_out/bombard-ms-base/serve.tsv"
+echo "batched sssp OK: multi-source sweep >= per-query baseline (QPS, p99), deterministic"
+
 echo "==> scale-track smoke: streaming build + sharded kernels"
 # A small out-of-core build (sort buffer forced tiny so the external
 # sort actually spills) must produce a well-formed scale.tsv whose
